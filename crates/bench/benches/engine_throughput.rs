@@ -1,0 +1,38 @@
+//! Engine throughput: executing the Fig. 1 workflow (initial vs optimized)
+//! over growing PARTS1/PARTS2 volumes. Demonstrates that the optimizer's
+//! row-count ranking translates into real work saved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etlopt_core::cost::RowCountModel;
+use etlopt_core::opt::{HeuristicSearch, Optimizer};
+use etlopt_engine::Executor;
+use etlopt_workload::scenarios;
+
+fn bench_engine(c: &mut Criterion) {
+    let wf = scenarios::fig1();
+    let model = RowCountModel::default();
+    let optimized = HeuristicSearch::new().run(&wf, &model).unwrap().best;
+
+    let mut group = c.benchmark_group("engine_throughput");
+    for &scale in &[1_000usize, 5_000, 20_000] {
+        let catalog = scenarios::fig1_catalog(2005, scale / 30 + 10, scale);
+        let exec = Executor::new(catalog);
+        group.throughput(Throughput::Elements(scale as u64));
+        group.bench_with_input(BenchmarkId::new("fig1_initial", scale), &exec, |b, exec| {
+            b.iter(|| exec.run(&wf).unwrap().stats.total())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fig1_optimized", scale),
+            &exec,
+            |b, exec| b.iter(|| exec.run(&optimized).unwrap().stats.total()),
+        );
+
+        let before = exec.run(&wf).unwrap().stats.total();
+        let after = exec.run(&optimized).unwrap().stats.total();
+        println!("engine[scale {scale}]: rows processed {before} -> {after}");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! ES anytime behavior: the paper capped ES at 40 hours and reported the
+//! best state found so far. This bench sweeps the ES budget and prints the
+//! anytime quality curve next to HS — showing why a 40-hour cap still loses
+//! to a heuristic that understands the structure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etlopt_core::cost::RowCountModel;
+use etlopt_core::opt::{ExhaustiveSearch, HeuristicSearch, Optimizer, SearchBudget};
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn bench_anytime(c: &mut Criterion) {
+    let model = RowCountModel::default();
+    let scenario = Generator::generate(GeneratorConfig {
+        seed: 2005,
+        category: SizeCategory::Small,
+    });
+    let wf = &scenario.workflow;
+
+    // The anytime curve (printed, one line per budget).
+    let hs = HeuristicSearch::with_budget(SearchBudget::states(20_000))
+        .run(wf, &model)
+        .unwrap();
+    println!(
+        "es_anytime[{}]: HS reference improvement {:.1}% ({} states)",
+        scenario.name,
+        hs.improvement_pct(),
+        hs.visited_states
+    );
+    for budget in [500usize, 2_000, 8_000, 32_000] {
+        let es = ExhaustiveSearch::with_budget(SearchBudget::states(budget))
+            .run(wf, &model)
+            .unwrap();
+        println!(
+            "es_anytime[{}]: ES@{budget:>6} improvement {:>5.1}%{}",
+            scenario.name,
+            es.improvement_pct(),
+            if es.budget_exhausted { " *" } else { "" },
+        );
+    }
+
+    // Timed: ES at two budgets.
+    let mut group = c.benchmark_group("es_anytime");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for budget in [2_000usize, 8_000] {
+        group.bench_with_input(
+            BenchmarkId::new("es_states", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    ExhaustiveSearch::with_budget(SearchBudget::states(budget))
+                        .run(wf, &model)
+                        .unwrap()
+                        .best_cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anytime);
+criterion_main!(benches);

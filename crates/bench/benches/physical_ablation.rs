@@ -1,0 +1,96 @@
+//! Physical-optimization ablation (the paper's future-work extension,
+//! implemented in `etlopt_core::physical`): how much does planning
+//! implementations and sort-order reuse change the optimizer's verdicts
+//! compared to the purely logical row-count model?
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etlopt_core::cost::{CostModel, RowCountModel};
+use etlopt_core::opt::{HeuristicSearch, Optimizer, SearchBudget};
+use etlopt_core::physical::{plan, PhysicalConfig, PhysicalCostModel};
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn bench_physical(c: &mut Criterion) {
+    let logical = RowCountModel::default();
+    let tight = PhysicalCostModel {
+        config: PhysicalConfig {
+            memory_rows: 500.0,
+            lookup_rows: 100_000.0,
+        },
+    };
+
+    let mut group = c.benchmark_group("physical_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    for category in [SizeCategory::Small, SizeCategory::Medium] {
+        let scenario = Generator::generate(GeneratorConfig {
+            seed: 2005,
+            category,
+        });
+        let wf = &scenario.workflow;
+        let budget = SearchBudget::states(4_000);
+
+        // How expensive is one planning pass?
+        group.bench_with_input(
+            BenchmarkId::new("plan_once", category.label()),
+            wf,
+            |b, wf| b.iter(|| plan(wf, &tight.config).unwrap().total_cost),
+        );
+        // HS under each model.
+        group.bench_with_input(
+            BenchmarkId::new("hs_logical", category.label()),
+            wf,
+            |b, wf| {
+                b.iter(|| {
+                    HeuristicSearch::with_budget(budget)
+                        .run(wf, &logical)
+                        .unwrap()
+                        .best_cost
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hs_physical", category.label()),
+            wf,
+            |b, wf| {
+                b.iter(|| {
+                    HeuristicSearch::with_budget(budget)
+                        .run(wf, &tight)
+                        .unwrap()
+                        .best_cost
+                })
+            },
+        );
+
+        // Verdict comparison (printed): do the two models pick different
+        // states, and what does each think of the other's pick?
+        let lo = HeuristicSearch::with_budget(budget)
+            .run(wf, &logical)
+            .unwrap();
+        let ph = HeuristicSearch::with_budget(budget)
+            .run(wf, &tight)
+            .unwrap();
+        let cross = tight.cost(&lo.best).unwrap();
+        println!(
+            "physical_ablation[{}]: logical pick {} | physical pick {} | \
+             physical cost of logical pick {:.0} vs physical pick {:.0} ({}) ",
+            category.label(),
+            lo.best.signature(),
+            ph.best.signature(),
+            cross,
+            ph.best_cost,
+            if ph.best_cost <= cross + 1e-6 {
+                "physical-aware search is never worse"
+            } else {
+                "UNEXPECTED"
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_physical);
+criterion_main!(benches);

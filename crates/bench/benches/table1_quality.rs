@@ -1,0 +1,88 @@
+//! Table 1 bench: time-to-solution of each algorithm per size band, and a
+//! printed quality-of-solution summary (the table's content itself — run
+//! `reproduce table1` for the full suite).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etlopt_core::cost::RowCountModel;
+use etlopt_core::opt::{ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer, SearchBudget};
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn bench_quality(c: &mut Criterion) {
+    let model = RowCountModel::default();
+    let mut group = c.benchmark_group("table1_quality");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    for category in SizeCategory::all() {
+        let scenario = Generator::generate(GeneratorConfig {
+            seed: 2005,
+            category,
+        });
+        let wf = &scenario.workflow;
+        let budget = SearchBudget {
+            max_states: 5_000,
+            max_time: Duration::from_secs(2),
+        };
+
+        group.bench_with_input(BenchmarkId::new("ES", category.label()), wf, |b, wf| {
+            b.iter(|| {
+                ExhaustiveSearch::with_budget(budget)
+                    .run(wf, &model)
+                    .expect("ES runs")
+                    .best_cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HS", category.label()), wf, |b, wf| {
+            b.iter(|| {
+                HeuristicSearch::with_budget(budget)
+                    .run(wf, &model)
+                    .expect("HS runs")
+                    .best_cost
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("HS-Greedy", category.label()),
+            wf,
+            |b, wf| {
+                b.iter(|| {
+                    HsGreedy::with_budget(budget)
+                        .run(wf, &model)
+                        .expect("HS-Greedy runs")
+                        .best_cost
+                })
+            },
+        );
+
+        // Quality summary alongside the timing numbers.
+        let es = ExhaustiveSearch::with_budget(budget)
+            .run(wf, &model)
+            .unwrap();
+        let hs = HeuristicSearch::with_budget(budget)
+            .run(wf, &model)
+            .unwrap();
+        let hg = HsGreedy::with_budget(budget).run(wf, &model).unwrap();
+        let best = es.best_cost.min(hs.best_cost).min(hg.best_cost);
+        let q = |c: f64| {
+            if es.initial_cost - best <= 0.0 {
+                100.0
+            } else {
+                100.0 * (es.initial_cost - c) / (es.initial_cost - best)
+            }
+        };
+        println!(
+            "table1[{}]: quality ES {:.0}%{} | HS {:.0}% | HS-Greedy {:.0}%",
+            category.label(),
+            q(es.best_cost),
+            if es.budget_exhausted { "*" } else { "" },
+            q(hs.best_cost),
+            q(hg.best_cost),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

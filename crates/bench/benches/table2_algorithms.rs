@@ -1,0 +1,84 @@
+//! Table 2 bench: execution time of the three search algorithms per size
+//! band, plus printed visited-state and improvement numbers (run
+//! `reproduce table2` for the full averaged suite).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etlopt_core::cost::RowCountModel;
+use etlopt_core::opt::{ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer, SearchBudget};
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let model = RowCountModel::default();
+    let mut group = c.benchmark_group("table2_algorithms");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+
+    for category in SizeCategory::all() {
+        let scenario = Generator::generate(GeneratorConfig { seed: 42, category });
+        let wf = &scenario.workflow;
+        let es_budget = SearchBudget {
+            max_states: 5_000,
+            max_time: Duration::from_secs(2),
+        };
+        let hs_budget = SearchBudget {
+            max_states: 10_000,
+            max_time: Duration::from_secs(4),
+        };
+
+        group.bench_with_input(BenchmarkId::new("ES", category.label()), wf, |b, wf| {
+            b.iter(|| {
+                ExhaustiveSearch::with_budget(es_budget)
+                    .run(wf, &model)
+                    .unwrap()
+                    .visited_states
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HS", category.label()), wf, |b, wf| {
+            b.iter(|| {
+                HeuristicSearch::with_budget(hs_budget)
+                    .run(wf, &model)
+                    .unwrap()
+                    .visited_states
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("HS-Greedy", category.label()),
+            wf,
+            |b, wf| {
+                b.iter(|| {
+                    HsGreedy::with_budget(hs_budget)
+                        .run(wf, &model)
+                        .unwrap()
+                        .visited_states
+                })
+            },
+        );
+
+        let es = ExhaustiveSearch::with_budget(es_budget)
+            .run(wf, &model)
+            .unwrap();
+        let hs = HeuristicSearch::with_budget(hs_budget)
+            .run(wf, &model)
+            .unwrap();
+        let hg = HsGreedy::with_budget(hs_budget).run(wf, &model).unwrap();
+        println!(
+            "table2[{} / {} acts]: ES {} states {:.1}%{} | HS {} states {:.1}% | HS-Greedy {} states {:.1}%",
+            category.label(),
+            wf.activity_count(),
+            es.visited_states,
+            es.improvement_pct(),
+            if es.budget_exhausted { "*" } else { "" },
+            hs.visited_states,
+            hs.improvement_pct(),
+            hg.visited_states,
+            hg.improvement_pct(),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the search-space machinery: transition application,
+//! signature computation, schema regeneration, full vs semi-incremental
+//! costing (the §4.1 ablation), and move enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etlopt_core::cost::{CostModel, RowCountModel};
+use etlopt_core::opt::enumerate_moves;
+use etlopt_core::transition::Transition;
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn bench_transitions(c: &mut Criterion) {
+    let model = RowCountModel::default();
+    let mut group = c.benchmark_group("transitions_micro");
+
+    for category in SizeCategory::all() {
+        let scenario = Generator::generate(GeneratorConfig { seed: 7, category });
+        let wf = scenario.workflow;
+        let n = wf.activity_count();
+
+        // Find one applicable swap.
+        let swap = enumerate_moves(&wf)
+            .unwrap()
+            .into_iter()
+            .find_map(|m| match m {
+                etlopt_core::opt::Move::Swap(s) if s.apply(&wf).is_ok() => Some(s),
+                _ => None,
+            });
+
+        if let Some(swap) = swap {
+            group.bench_with_input(
+                BenchmarkId::new("swap_apply", format!("{category}-{n}acts")),
+                &wf,
+                |b, wf| b.iter(|| swap.apply(wf).unwrap()),
+            );
+            let swapped = swap.apply(&wf).unwrap();
+            let report = model.report(&wf).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("cost_full", format!("{category}-{n}acts")),
+                &swapped,
+                |b, s| b.iter(|| model.cost(s).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("cost_semi_incremental", format!("{category}-{n}acts")),
+                &swapped,
+                |b, s| {
+                    b.iter(|| {
+                        model
+                            .report_incremental(s, &report, &swap.affected(&wf))
+                            .unwrap()
+                            .total
+                    })
+                },
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("signature", format!("{category}-{n}acts")),
+            &wf,
+            |b, wf| b.iter(|| wf.signature()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clone_state", format!("{category}-{n}acts")),
+            &wf,
+            |b, wf| b.iter(|| wf.clone()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enumerate_moves", format!("{category}-{n}acts")),
+            &wf,
+            |b, wf| b.iter(|| enumerate_moves(wf).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("local_groups", format!("{category}-{n}acts")),
+            &wf,
+            |b, wf| b.iter(|| wf.local_groups().unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitions);
+criterion_main!(benches);

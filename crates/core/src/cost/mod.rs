@@ -1,0 +1,292 @@
+//! Cost models (§2.2) and the semi-incremental state costing of §4.1.
+//!
+//! The total cost of a state is the sum of its activities' costs,
+//! `C(S) = Σ c(aᵢ)`, where each activity's cost depends on the rows it
+//! processes — which in turn depends on its *position* in the graph (rows
+//! shrink as selective activities move toward the sources). The framework
+//! "is not in particular dependent on the cost model chosen": [`CostModel`]
+//! is a trait, and [`RowCountModel`] is the paper's simple processed-rows
+//! model with the classic per-operator formulas (linear scans for row-wise
+//! operators, `n·log₂n` for sort/lookup-based ones, as in the Fig. 4
+//! example).
+
+mod row_count;
+
+pub use row_count::{LinearModel, RowCountModel};
+
+use std::collections::BTreeMap;
+
+use crate::activity::Activity;
+use crate::error::Result;
+use crate::graph::{Node, NodeId};
+use crate::schema_gen;
+use crate::workflow::{binary_cardinality, Workflow};
+
+/// A cost model: prices one activity given the rows arriving on each of its
+/// input ports.
+pub trait CostModel {
+    /// Model name (for reports and benches).
+    fn name(&self) -> &str;
+
+    /// Cost of one activity processing `input_rows` (one entry per port).
+    fn activity_cost(&self, activity: &Activity, input_rows: &[f64]) -> f64;
+
+    /// Total cost of a state: propagate row counts from the sources and sum
+    /// the per-activity costs. This is the search hot path, so it uses a
+    /// flat slot-indexed row table instead of building a [`CostReport`].
+    fn cost(&self, wf: &Workflow) -> Result<f64> {
+        let graph = wf.graph();
+        let order = graph.topo_order()?;
+        let cap = order
+            .iter()
+            .map(|id| id.0 as usize)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut rows: Vec<f64> = vec![0.0; cap];
+        let mut total = 0.0;
+        for &id in &order {
+            let out_rows = match graph.node(id)? {
+                Node::Recordset(r) => match graph.provider(id, 0)? {
+                    None => r.row_estimate,
+                    Some(p) => rows[p.0 as usize],
+                },
+                Node::Activity(a) => {
+                    let providers = graph.providers(id)?;
+                    let in0 = providers
+                        .first()
+                        .copied()
+                        .flatten()
+                        .map(|p| rows[p.0 as usize])
+                        .unwrap_or(0.0);
+                    match &a.op {
+                        crate::activity::Op::Binary(b) => {
+                            let in1 = providers
+                                .get(1)
+                                .copied()
+                                .flatten()
+                                .map(|p| rows[p.0 as usize])
+                                .unwrap_or(0.0);
+                            total += self.activity_cost(a, &[in0, in1]);
+                            binary_cardinality(b, in0, in1)
+                        }
+                        _ => {
+                            total += self.activity_cost(a, &[in0]);
+                            in0 * a.selectivity()
+                        }
+                    }
+                }
+            };
+            rows[id.0 as usize] = out_rows;
+        }
+        Ok(total)
+    }
+
+    /// Full per-node cost breakdown.
+    fn report(&self, wf: &Workflow) -> Result<CostReport> {
+        let order = wf.graph().topo_order()?;
+        let mut rows: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut per_node: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for &id in &order {
+            compute_node(self, wf, id, &mut rows, &mut per_node)?;
+        }
+        Ok(CostReport {
+            total: per_node.values().sum(),
+            per_node,
+            rows,
+        })
+    }
+
+    /// Semi-incremental costing (§4.1): given the report of a previous,
+    /// structurally similar state and the nodes a transition touched,
+    /// recompute only the affected nodes and everything downstream of them;
+    /// untouched nodes keep their previous cost. Node ids of untouched nodes
+    /// are stable across transitions, which is what makes this sound.
+    fn report_incremental(
+        &self,
+        wf: &Workflow,
+        previous: &CostReport,
+        affected: &[NodeId],
+    ) -> Result<CostReport> {
+        let graph = wf.graph();
+        let dirty = schema_gen::downstream_of(graph, affected)?;
+        let mut rows = BTreeMap::new();
+        let mut per_node = BTreeMap::new();
+        // Keep previous values for clean, still-live nodes.
+        for (&id, &r) in &previous.rows {
+            if graph.contains(id) && !dirty.contains(&id) {
+                rows.insert(id, r);
+                if let Some(&c) = previous.per_node.get(&id) {
+                    per_node.insert(id, c);
+                }
+            }
+        }
+        // Recompute dirty nodes in topological order; also fill any node the
+        // previous report never saw (fresh nodes from FAC/DIS).
+        for &id in &graph.topo_order()? {
+            if !rows.contains_key(&id) {
+                compute_node(self, wf, id, &mut rows, &mut per_node)?;
+            }
+        }
+        Ok(CostReport {
+            total: per_node.values().sum(),
+            per_node,
+            rows,
+        })
+    }
+}
+
+fn compute_node<M: CostModel + ?Sized>(
+    model: &M,
+    wf: &Workflow,
+    id: NodeId,
+    rows: &mut BTreeMap<NodeId, f64>,
+    per_node: &mut BTreeMap<NodeId, f64>,
+) -> Result<()> {
+    let graph = wf.graph();
+    let out_rows = match graph.node(id)? {
+        Node::Recordset(r) => match graph.provider(id, 0)? {
+            None => r.row_estimate,
+            Some(p) => rows[&p],
+        },
+        Node::Activity(a) => {
+            let inputs: Vec<f64> = graph
+                .providers(id)?
+                .iter()
+                .map(|p| p.map(|p| rows[&p]).unwrap_or(0.0))
+                .collect();
+            per_node.insert(id, model.activity_cost(a, &inputs));
+            match &a.op {
+                crate::activity::Op::Binary(b) => binary_cardinality(b, inputs[0], inputs[1]),
+                _ => inputs[0] * a.selectivity(),
+            }
+        }
+    };
+    rows.insert(id, out_rows);
+    Ok(())
+}
+
+/// Per-node cost breakdown of a state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Total state cost `C(S)`.
+    pub total: f64,
+    /// Cost per activity node.
+    pub per_node: BTreeMap<NodeId, f64>,
+    /// Estimated rows flowing out of every node.
+    pub rows: BTreeMap<NodeId, f64>,
+}
+
+impl CostReport {
+    /// Cost of one node (0 for recordsets).
+    pub fn node_cost(&self, id: NodeId) -> f64 {
+        self.per_node.get(&id).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::semantics::{BinaryOp, UnaryOp};
+    use crate::workflow::WorkflowBuilder;
+
+    fn chain() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 1000.0);
+        let f = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 0)).with_selectivity(0.5),
+            s,
+        );
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), f);
+        b.target("T", Schema::of(["sk", "v"]), sk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn report_sums_activity_costs() {
+        let wf = chain();
+        let m = RowCountModel::default();
+        let rep = m.report(&wf).unwrap();
+        // σ: 1000; SK: 500·log2(500).
+        let expected = 1000.0 + 500.0 * (500.0_f64).log2();
+        assert!((rep.total - expected).abs() < 1e-6, "{}", rep.total);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let wf = chain();
+        let m = RowCountModel::default();
+        let full = m.report(&wf).unwrap();
+        // Pretend the filter changed: recompute downstream of it.
+        let filter = wf.activities().unwrap()[0];
+        let inc = m.report_incremental(&wf, &full, &[filter]).unwrap();
+        assert!((inc.total - full.total).abs() < 1e-9);
+        assert_eq!(inc.per_node, full.per_node);
+    }
+
+    #[test]
+    fn incremental_matches_full_across_a_transition() {
+        // The real contract: previous report comes from the pre-transition
+        // state; the successor re-prices only downstream of the affected
+        // nodes.
+        use crate::transition::{Swap, Transition};
+        let m = RowCountModel::default();
+        let wf = chain();
+        let prev = m.report(&wf).unwrap();
+        let acts = wf.activities().unwrap();
+        let (f, sk) = (acts[0], acts[1]);
+        let t = Swap::new(f, sk);
+        let next = t.apply(&wf).unwrap();
+        let inc = m
+            .report_incremental(&next, &prev, &t.affected(&wf))
+            .unwrap();
+        let full = m.report(&next).unwrap();
+        assert!((inc.total - full.total).abs() < 1e-9);
+        assert_eq!(inc.per_node, full.per_node);
+        assert_eq!(inc.rows, full.rows);
+    }
+
+    #[test]
+    fn incremental_matches_full_across_distribute() {
+        // Distribute splices clones *upstream* of the binary and may reuse
+        // freed arena slots — the regression this test pins down.
+        use crate::transition::{Distribute, Transition};
+        let m = RowCountModel::default();
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["k", "v"]), 64.0);
+        let s2 = b.source("S2", Schema::of(["k", "v"]), 32.0);
+        let u = b.binary("U", crate::semantics::BinaryOp::Union, s1, s2);
+        let sel = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 0)).with_selectivity(0.5),
+            u,
+        );
+        b.target("T", Schema::of(["k", "v"]), sel);
+        let wf = b.build().unwrap();
+        let prev = m.report(&wf).unwrap();
+        let t = Distribute::new(u, sel);
+        let next = t.apply(&wf).unwrap();
+        let inc = m
+            .report_incremental(&next, &prev, &t.affected(&wf))
+            .unwrap();
+        let full = m.report(&next).unwrap();
+        assert!((inc.total - full.total).abs() < 1e-9);
+        assert_eq!(inc.per_node, full.per_node);
+        assert_eq!(inc.rows, full.rows);
+    }
+
+    #[test]
+    fn union_rows_add_up() {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["a"]), 100.0);
+        let s2 = b.source("S2", Schema::of(["a"]), 50.0);
+        let u = b.binary("U", BinaryOp::Union, s1, s2);
+        b.target("T", Schema::of(["a"]), u);
+        let wf = b.build().unwrap();
+        let rep = RowCountModel::default().report(&wf).unwrap();
+        let t = wf.targets()[0];
+        assert_eq!(rep.rows[&t], 150.0);
+    }
+}

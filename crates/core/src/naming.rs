@@ -1,0 +1,211 @@
+//! The naming principle (§3.1).
+//!
+//! Attribute names in source systems are unreliable: `PARTS1.COST` (Euros)
+//! and `PARTS2.COST` (Dollars) are homonyms naming *different* real-world
+//! entities, while `DATE` in American and European format are different names
+//! for the *same* grouper entity. The paper resolves this with a set Σn of
+//! **reference attribute names** and a mapping from every physical attribute
+//! to exactly one reference name, under the principle:
+//!
+//! 1. all synonyms refer to the same real-world entity, and
+//! 2. different reference names refer to different entities.
+//!
+//! [`NamingRegistry`] maintains that mapping and rejects violations. Once a
+//! workflow is expressed purely in reference names the optimizer can rely on
+//! name equality as semantic equality — this is what makes swap condition 3
+//! sound (see the `$2€`/`σ(€)` discussion around Fig. 5 of the paper).
+
+use std::collections::BTreeMap;
+
+use crate::error::{CoreError, Result};
+use crate::schema::Attr;
+
+/// Maps physical attribute names (qualified by their recordset) to reference
+/// attribute names in Σn.
+#[derive(Debug, Clone, Default)]
+pub struct NamingRegistry {
+    /// (recordset, physical name) → reference name.
+    map: BTreeMap<(String, String), Attr>,
+    /// Reference names registered so far (Σn).
+    reference: BTreeMap<String, ReferenceEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct ReferenceEntry {
+    /// Free-text description of the real-world entity, used to detect
+    /// accidental re-use of a reference name for a different entity.
+    entity: String,
+}
+
+impl NamingRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a reference attribute name for a real-world `entity`
+    /// description. Declaring the same name twice is fine if the entity
+    /// matches; mapping one name to two entities violates principle (2).
+    pub fn declare(
+        &mut self,
+        reference: impl Into<String>,
+        entity: impl Into<String>,
+    ) -> Result<Attr> {
+        let name = reference.into();
+        let entity = entity.into();
+        match self.reference.get(&name) {
+            Some(existing) if existing.entity != entity => Err(CoreError::Naming(format!(
+                "reference name `{name}` already denotes entity `{}`; cannot re-declare it as `{entity}`",
+                existing.entity
+            ))),
+            Some(_) => Ok(Attr::new(&name)),
+            None => {
+                self.reference.insert(name.clone(), ReferenceEntry { entity });
+                Ok(Attr::new(&name))
+            }
+        }
+    }
+
+    /// Map a physical attribute (`recordset`.`physical`) to a declared
+    /// reference name. Each physical attribute maps to exactly one reference
+    /// name; remapping to a different one violates principle (1).
+    pub fn map(
+        &mut self,
+        recordset: impl Into<String>,
+        physical: impl Into<String>,
+        reference: &Attr,
+    ) -> Result<()> {
+        if !self.reference.contains_key(reference.name()) {
+            return Err(CoreError::Naming(format!(
+                "reference name `{reference}` was never declared"
+            )));
+        }
+        let key = (recordset.into(), physical.into());
+        match self.map.get(&key) {
+            Some(prev) if prev != reference => Err(CoreError::Naming(format!(
+                "attribute `{}.{}` is already mapped to `{prev}`; cannot remap to `{reference}`",
+                key.0, key.1
+            ))),
+            _ => {
+                self.map.insert(key, reference.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve a physical attribute to its reference name.
+    pub fn resolve(&self, recordset: &str, physical: &str) -> Option<&Attr> {
+        self.map.get(&(recordset.to_owned(), physical.to_owned()))
+    }
+
+    /// Is `name` a declared reference name?
+    pub fn is_reference(&self, name: &str) -> bool {
+        self.reference.contains_key(name)
+    }
+
+    /// The entity a reference name denotes.
+    pub fn entity_of(&self, name: &str) -> Option<&str> {
+        self.reference.get(name).map(|e| e.entity.as_str())
+    }
+
+    /// All physical attributes mapped to `reference` (its synonym set).
+    pub fn synonyms(&self, reference: &Attr) -> Vec<(&str, &str)> {
+        self.map
+            .iter()
+            .filter(|(_, r)| *r == reference)
+            .map(|((rs, ph), _)| (rs.as_str(), ph.as_str()))
+            .collect()
+    }
+
+    /// Number of declared reference names.
+    pub fn reference_count(&self) -> usize {
+        self.reference.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> NamingRegistry {
+        NamingRegistry::new()
+    }
+
+    #[test]
+    fn declare_and_map_roundtrip() {
+        let mut r = registry();
+        let cost_eur = r.declare("euro_cost", "part cost in Euros").unwrap();
+        r.map("PARTS1", "COST", &cost_eur).unwrap();
+        assert_eq!(r.resolve("PARTS1", "COST"), Some(&cost_eur));
+        assert!(r.is_reference("euro_cost"));
+    }
+
+    #[test]
+    fn homonyms_map_to_distinct_references() {
+        // The paper's example: PARTS1.COST is Euros, PARTS2.COST is Dollars.
+        let mut r = registry();
+        let eur = r.declare("euro_cost", "part cost in Euros").unwrap();
+        let usd = r.declare("dollar_cost", "part cost in Dollars").unwrap();
+        r.map("PARTS1", "COST", &eur).unwrap();
+        r.map("PARTS2", "COST", &usd).unwrap();
+        assert_ne!(r.resolve("PARTS1", "COST"), r.resolve("PARTS2", "COST"));
+    }
+
+    #[test]
+    fn synonyms_map_to_one_reference() {
+        // American and European dates are the same grouper entity (§3.1).
+        let mut r = registry();
+        let date = r.declare("date", "supply date (as grouper)").unwrap();
+        r.map("PARTS1", "DATE", &date).unwrap();
+        r.map("PARTS2", "DATE", &date).unwrap();
+        let mut syn = r.synonyms(&date);
+        syn.sort();
+        assert_eq!(syn, vec![("PARTS1", "DATE"), ("PARTS2", "DATE")]);
+    }
+
+    #[test]
+    fn redeclaring_same_entity_is_idempotent() {
+        let mut r = registry();
+        r.declare("pkey", "part key").unwrap();
+        assert!(r.declare("pkey", "part key").is_ok());
+    }
+
+    #[test]
+    fn redeclaring_different_entity_fails() {
+        let mut r = registry();
+        r.declare("cost", "Euros").unwrap();
+        let err = r.declare("cost", "Dollars").unwrap_err();
+        assert!(matches!(err, CoreError::Naming(_)));
+    }
+
+    #[test]
+    fn remapping_physical_attr_fails() {
+        let mut r = registry();
+        let eur = r.declare("euro_cost", "Euros").unwrap();
+        let usd = r.declare("dollar_cost", "Dollars").unwrap();
+        r.map("P", "COST", &eur).unwrap();
+        let err = r.map("P", "COST", &usd).unwrap_err();
+        assert!(matches!(err, CoreError::Naming(_)));
+        // Idempotent remap to the same reference is allowed.
+        assert!(r.map("P", "COST", &eur).is_ok());
+    }
+
+    #[test]
+    fn mapping_to_undeclared_reference_fails() {
+        let mut r = registry();
+        let ghost = Attr::new("ghost");
+        assert!(matches!(
+            r.map("P", "X", &ghost).unwrap_err(),
+            CoreError::Naming(_)
+        ));
+    }
+
+    #[test]
+    fn entity_lookup() {
+        let mut r = registry();
+        r.declare("qty", "quantity supplied").unwrap();
+        assert_eq!(r.entity_of("qty"), Some("quantity supplied"));
+        assert_eq!(r.entity_of("nope"), None);
+        assert_eq!(r.reference_count(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! State-space search algorithms (§4): Exhaustive Search (ES), Heuristic
+//! Search (HS, Fig. 7) and its greedy variant (HS-Greedy).
+//!
+//! All three share the same skeleton: states are [`Workflow`]s identified by
+//! their [`Signature`]; successor states are produced by the applicable
+//! [`Move`]s; a [`crate::cost::CostModel`] ranks them; the state cost is
+//! maintained **semi-incrementally** (§4.1) — only the path from the
+//! activities a transition touched towards the targets is re-priced.
+
+mod exhaustive;
+mod heuristic;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use heuristic::{HeuristicSearch, HsGreedy};
+
+use std::time::{Duration, Instant};
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::graph::NodeId;
+use crate::transition::{Distribute, Factorize, Swap, Transition, TransitionError};
+use crate::workflow::Workflow;
+
+/// One applicable transition, as enumerated by [`enumerate_moves`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// A swap of two adjacent unary activities.
+    Swap(Swap),
+    /// A factorization of homologous providers of a binary activity.
+    Factorize(Factorize),
+    /// A distribution of the consumer of a binary activity.
+    Distribute(Distribute),
+}
+
+impl Move {
+    /// Apply the underlying transition.
+    pub fn apply(&self, wf: &Workflow) -> Result<Workflow, TransitionError> {
+        match self {
+            Move::Swap(t) => t.apply(wf),
+            Move::Factorize(t) => t.apply(wf),
+            Move::Distribute(t) => t.apply(wf),
+        }
+    }
+
+    /// Nodes the transition touches in the pre-state (for incremental
+    /// costing).
+    pub fn affected(&self, wf: &Workflow) -> Vec<NodeId> {
+        match self {
+            Move::Swap(t) => t.affected(wf),
+            Move::Factorize(t) => t.affected(wf),
+            Move::Distribute(t) => t.affected(wf),
+        }
+    }
+
+    /// Paper-style rendering.
+    pub fn describe(&self, wf: &Workflow) -> String {
+        match self {
+            Move::Swap(t) => t.describe(wf),
+            Move::Factorize(t) => t.describe(wf),
+            Move::Distribute(t) => t.describe(wf),
+        }
+    }
+}
+
+/// Enumerate every transition that *may* apply to a state (cheap structural
+/// pre-filter; `apply` still re-checks in full):
+///
+/// * `SWA` for each provider/consumer pair of unary activities,
+/// * `FAC` for each homologous pair directly feeding a binary activity,
+/// * `DIS` for each binary activity whose single consumer is a row-wise
+///   unary activity.
+pub fn enumerate_moves(wf: &Workflow) -> Result<Vec<Move>> {
+    let g = wf.graph();
+    let mut moves = Vec::new();
+    for &a in &wf.activities()? {
+        let act = g.activity(a)?;
+        if act.is_unary() {
+            // SWA with the (single) unary consumer.
+            let consumers = g.consumers(a)?;
+            if consumers.len() == 1 {
+                let c = consumers[0];
+                if g.activity(c).map(|x| x.is_unary()).unwrap_or(false) {
+                    moves.push(Move::Swap(Swap::new(a, c)));
+                }
+            }
+        } else {
+            // FAC over direct unary providers.
+            let providers = g.providers(a)?;
+            if let (Some(Some(p1)), Some(Some(p2))) = (providers.first(), providers.get(1)) {
+                let both_unary = g.activity(*p1).map(|x| x.is_unary()).unwrap_or(false)
+                    && g.activity(*p2).map(|x| x.is_unary()).unwrap_or(false);
+                if both_unary && p1 != p2 && wf.are_homologous(*p1, *p2).unwrap_or(false) {
+                    moves.push(Move::Factorize(Factorize::new(a, *p1, *p2)));
+                }
+            }
+            // DIS of the single unary consumer.
+            let consumers = g.consumers(a)?;
+            if consumers.len() == 1 {
+                let c = consumers[0];
+                if g.activity(c)
+                    .map(|x| x.is_unary() && x.is_row_wise())
+                    .unwrap_or(false)
+                {
+                    moves.push(Move::Distribute(Distribute::new(a, c)));
+                }
+            }
+        }
+    }
+    Ok(moves)
+}
+
+/// Resource bounds for a search run. The paper let ES run "up to 40 hours";
+/// these are the laptop-scale equivalent of that threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchBudget {
+    /// Maximum number of distinct states to generate and cost.
+    pub max_states: usize,
+    /// Wall-clock limit.
+    pub max_time: Duration,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_states: 200_000,
+            max_time: Duration::from_secs(60),
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A budget bounded only by state count.
+    pub fn states(max_states: usize) -> Self {
+        SearchBudget {
+            max_states,
+            max_time: Duration::from_secs(u64::MAX / 4),
+        }
+    }
+
+    /// Is the budget spent?
+    pub fn exhausted(&self, visited: usize, started: Instant) -> bool {
+        visited >= self.max_states || started.elapsed() >= self.max_time
+    }
+}
+
+/// The result of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best state found.
+    pub best: Workflow,
+    /// Its cost under the model the search ran with.
+    pub best_cost: f64,
+    /// Cost of the initial state.
+    pub initial_cost: f64,
+    /// Number of distinct states generated and costed.
+    pub visited_states: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// `true` if the run stopped because the budget ran out (ES on medium
+    /// and large workflows — the asterisked cells of Tables 1 and 2).
+    pub budget_exhausted: bool,
+    /// Per-phase progress for phase-structured algorithms (HS, HS-Greedy):
+    /// the best cost and cumulative visited-state count after each of the
+    /// Fig. 7 phases. Empty for ES.
+    pub phase_stats: Vec<PhaseStat>,
+}
+
+/// Snapshot of a search after one of its phases (Fig. 7 structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name: `"I swaps"`, `"II factorize"`, `"III distribute"`,
+    /// `"IV swaps"`.
+    pub phase: &'static str,
+    /// Best state cost when the phase ended.
+    pub best_cost: f64,
+    /// Distinct states visited so far (cumulative).
+    pub visited_states: usize,
+}
+
+impl SearchOutcome {
+    /// Improvement over the initial state, in percent — the measure of
+    /// Table 2.
+    pub fn improvement_pct(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.initial_cost - self.best_cost) / self.initial_cost
+        }
+    }
+}
+
+/// A search algorithm over workflow states.
+pub trait Optimizer {
+    /// Algorithm name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Optimize `wf` under `model`.
+    fn run(&self, wf: &Workflow, model: &dyn CostModel) -> Result<SearchOutcome>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::RowCountModel;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::semantics::{BinaryOp, UnaryOp};
+    use crate::workflow::WorkflowBuilder;
+
+    fn sample() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["k", "v"]), 100.0);
+        let s2 = b.source("S2", Schema::of(["k", "v"]), 100.0);
+        let f1 = b.unary("σ1", UnaryOp::filter(Predicate::gt("v", 1)), s1);
+        let f2 = b.unary("σ2", UnaryOp::filter(Predicate::gt("v", 1)), s2);
+        let u = b.binary("U", BinaryOp::Union, f1, f2);
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), u);
+        b.target("T", Schema::of(["sk", "v"]), sk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enumerate_finds_all_three_kinds() {
+        let wf = sample();
+        let moves = enumerate_moves(&wf).unwrap();
+        assert!(
+            moves.iter().any(|m| matches!(m, Move::Factorize(_))),
+            "{moves:?}"
+        );
+        assert!(
+            moves.iter().any(|m| matches!(m, Move::Distribute(_))),
+            "{moves:?}"
+        );
+        // No adjacent unary pairs here, so no swaps.
+        assert!(!moves.iter().any(|m| matches!(m, Move::Swap(_))));
+    }
+
+    #[test]
+    fn enumerated_moves_apply_cleanly() {
+        let wf = sample();
+        for m in enumerate_moves(&wf).unwrap() {
+            let next = m.apply(&wf).expect("enumerated move must apply");
+            assert!(crate::postcond::equivalent(&wf, &next).unwrap());
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let b = SearchBudget::states(10);
+        let now = Instant::now();
+        assert!(!b.exhausted(9, now));
+        assert!(b.exhausted(10, now));
+    }
+
+    #[test]
+    fn improvement_pct() {
+        let wf = sample();
+        let out = SearchOutcome {
+            best: wf.clone(),
+            best_cost: 30.0,
+            initial_cost: 100.0,
+            visited_states: 1,
+            elapsed: Duration::ZERO,
+            budget_exhausted: false,
+            phase_stats: Vec::new(),
+        };
+        assert!((out.improvement_pct() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moves_describe() {
+        let wf = sample();
+        let moves = enumerate_moves(&wf).unwrap();
+        let descriptions: Vec<String> = moves.iter().map(|m| m.describe(&wf)).collect();
+        assert!(descriptions.iter().any(|d| d.starts_with("FAC(")));
+        let _ = RowCountModel::default();
+    }
+}

@@ -1,0 +1,106 @@
+//! Recordsets: data stores that provide or consume flat record schemata.
+//!
+//! The paper deals with "the two most popular types of recordsets, namely
+//! relational tables and record files" (§2.1). A recordset has exactly one
+//! schema. Source recordsets additionally carry a cardinality estimate used
+//! by the cost model to seed row-count propagation.
+
+use std::fmt;
+
+use crate::schema::Schema;
+
+/// Physical flavor of a recordset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordsetKind {
+    /// A relational table.
+    Table,
+    /// A flat record file.
+    File,
+}
+
+impl RecordsetKind {
+    /// Display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecordsetKind::Table => "table",
+            RecordsetKind::File => "file",
+        }
+    }
+}
+
+/// A recordset node in the workflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recordset {
+    /// Name, e.g. `"PARTS1"`.
+    pub name: String,
+    /// The single schema of the recordset (reference attribute names).
+    pub schema: Schema,
+    /// Table or file.
+    pub kind: RecordsetKind,
+    /// Estimated cardinality. Meaningful for sources (seeds the cost
+    /// model); ignored for intermediate and target recordsets, whose
+    /// cardinality is derived from the flow.
+    pub row_estimate: f64,
+}
+
+impl Recordset {
+    /// A relational table.
+    pub fn table(name: impl Into<String>, schema: Schema) -> Self {
+        Recordset {
+            name: name.into(),
+            schema,
+            kind: RecordsetKind::Table,
+            row_estimate: 0.0,
+        }
+    }
+
+    /// A record file.
+    pub fn file(name: impl Into<String>, schema: Schema) -> Self {
+        Recordset {
+            name: name.into(),
+            schema,
+            kind: RecordsetKind::File,
+            row_estimate: 0.0,
+        }
+    }
+
+    /// Attach a cardinality estimate (sources only).
+    pub fn with_rows(mut self, rows: f64) -> Self {
+        assert!(rows >= 0.0, "row estimate must be non-negative");
+        self.row_estimate = rows;
+        self
+    }
+}
+
+impl fmt::Display for Recordset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}) {}", self.name, self.kind.tag(), self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Recordset::table("PARTS1", Schema::of(["pkey", "cost"])).with_rows(1000.0);
+        assert_eq!(t.kind, RecordsetKind::Table);
+        assert_eq!(t.row_estimate, 1000.0);
+        let f = Recordset::file("extract.dat", Schema::of(["a"]));
+        assert_eq!(f.kind, RecordsetKind::File);
+        assert_eq!(f.row_estimate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rows_rejected() {
+        let _ = Recordset::table("T", Schema::empty()).with_rows(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        let t = Recordset::table("DW", Schema::of(["pkey"]));
+        assert_eq!(t.to_string(), "DW (table) [pkey]");
+    }
+}

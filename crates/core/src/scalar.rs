@@ -1,0 +1,220 @@
+//! Scalar values shared between the logical model (predicate constants,
+//! template parameters) and the execution engine.
+//!
+//! The paper's correctness argument is black-box — it never inspects values —
+//! but predicates carry constants (e.g. `σ(euro_cost > 100)`), and the
+//! `etlopt-engine` crate needs to evaluate them over real rows, so a small
+//! closed value domain lives here in the core.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value: the closed domain over which ETL rows are defined.
+///
+/// `Float` is wrapped so the type can be `Eq`/`Hash`/`Ord` (total order with
+/// NaN greatest, mirroring SQL's `NULLS LAST`-style determinism); workflow
+/// states must be hashable for the visited-state set of the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// SQL-style NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// A calendar date, days since epoch. The paper's `A2E` activity converts
+    /// American to European *format*; we model dates canonically and treat
+    /// format as presentation, which is exactly why the two formats may share
+    /// one reference attribute name (§3.1).
+    Date(i32),
+}
+
+impl Scalar {
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Scalar::Null)
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(i) => Some(*i as f64),
+            Scalar::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything that is not an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for anything that is not a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Three-valued-logic comparison: `None` when either side is NULL or the
+    /// types are incomparable, `Some(ordering)` otherwise. Numerics compare
+    /// across `Int`/`Float`.
+    pub fn compare(&self, other: &Scalar) -> Option<Ordering> {
+        use Scalar::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// A total, deterministic ordering used for canonical sorting (multiset
+    /// comparison in the engine, canonical signatures). NULL sorts first,
+    /// then by variant, then by value; NaN sorts after every other float.
+    pub fn total_cmp(&self, other: &Scalar) -> Ordering {
+        fn rank(s: &Scalar) -> u8 {
+            match s {
+                Scalar::Null => 0,
+                Scalar::Bool(_) => 1,
+                Scalar::Int(_) => 2,
+                Scalar::Float(_) => 3,
+                Scalar::Date(_) => 4,
+                Scalar::Str(_) => 5,
+            }
+        }
+        use Scalar::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Null => write!(f, "NULL"),
+            Scalar::Int(i) => write!(f, "{i}"),
+            Scalar::Float(x) => write!(f, "{x}"),
+            Scalar::Str(s) => write!(f, "'{s}'"),
+            Scalar::Bool(b) => write!(f, "{b}"),
+            Scalar::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+impl From<i32> for Scalar {
+    fn from(v: i32) -> Self {
+        Scalar::Int(v as i64)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_owned())
+    }
+}
+impl From<String> for Scalar {
+    fn from(v: String) -> Self {
+        Scalar::Str(v)
+    }
+}
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Scalar::Null.compare(&Scalar::Int(1)), None);
+        assert_eq!(Scalar::Int(1).compare(&Scalar::Null), None);
+        assert_eq!(Scalar::Null.compare(&Scalar::Null), None);
+    }
+
+    #[test]
+    fn numeric_comparison_crosses_int_float() {
+        assert_eq!(
+            Scalar::Int(2).compare(&Scalar::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Scalar::Float(1.5).compare(&Scalar::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(
+            Scalar::from("abc").compare(&Scalar::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn mixed_types_are_incomparable() {
+        assert_eq!(Scalar::from("x").compare(&Scalar::Int(1)), None);
+        assert_eq!(Scalar::Bool(true).compare(&Scalar::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_antisymmetric() {
+        let vals = [
+            Scalar::Null,
+            Scalar::Bool(false),
+            Scalar::Int(-3),
+            Scalar::Float(f64::NAN),
+            Scalar::Float(0.5),
+            Scalar::Date(10),
+            Scalar::from("z"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse(), "{a} vs {b}");
+            }
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Scalar::Null.to_string(), "NULL");
+        assert_eq!(Scalar::from("hi").to_string(), "'hi'");
+        assert_eq!(Scalar::Int(7).to_string(), "7");
+    }
+}

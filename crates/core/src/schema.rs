@@ -1,0 +1,280 @@
+//! Attributes and schemata.
+//!
+//! A schema is a finite *ordered* list of attributes (§2.1). Activities are
+//! additionally characterized by three auxiliary schemata (§3.2):
+//!
+//! * **functionality** (necessary) schema — attributes that take part in the
+//!   computation,
+//! * **generated** schema — attributes created by the activity,
+//! * **projected-out** schema — input attributes the activity drops.
+//!
+//! All attribute names in an optimizable workflow are *reference attribute
+//! names* drawn from the conceptual set Σn of the naming principle (§3.1);
+//! see [`crate::naming`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A reference attribute name.
+///
+/// Cheap to clone (`Arc<str>`): schemata are copied wholesale on every state
+/// transition during search, so attribute names are shared, not re-allocated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Create an attribute from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attr(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+impl From<&Attr> for Attr {
+    fn from(a: &Attr) -> Self {
+        a.clone()
+    }
+}
+
+/// An ordered, duplicate-free list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Build a schema from attribute names. Duplicates are rejected at the
+    /// earliest possible moment because downstream schema regeneration relies
+    /// on name uniqueness.
+    ///
+    /// # Panics
+    /// Panics if the same attribute appears twice; schemata come from user
+    /// code or templates where a duplicate is a programming error.
+    pub fn of<I, A>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        let mut s = Schema::empty();
+        for a in attrs {
+            let a = a.into();
+            assert!(
+                !s.contains(&a),
+                "duplicate attribute `{a}` in schema construction"
+            );
+            s.attrs.push(a);
+        }
+        s
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterate over the attributes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> + '_ {
+        self.attrs.iter()
+    }
+
+    /// The attributes as a slice.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Does the schema contain `attr`?
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.attrs.iter().any(|a| a == attr)
+    }
+
+    /// Position of `attr`, if present.
+    pub fn index_of(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Set-wise subset test (order-insensitive): every attribute of `self`
+    /// appears in `other`. This is the test behind swap conditions 3 and 4
+    /// (§3.3).
+    pub fn is_subset_of(&self, other: &Schema) -> bool {
+        self.attrs.iter().all(|a| other.contains(a))
+    }
+
+    /// Append an attribute, ignoring duplicates (idempotent union insert).
+    pub fn push(&mut self, attr: Attr) {
+        if !self.contains(&attr) {
+            self.attrs.push(attr);
+        }
+    }
+
+    /// Order-preserving set union: attributes of `self`, then attributes of
+    /// `other` not already present.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut out = self.clone();
+        for a in other.iter() {
+            out.push(a.clone());
+        }
+        out
+    }
+
+    /// Order-preserving set difference: attributes of `self` not in `other`.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| !other.contains(a))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Order-preserving intersection: attributes of `self` also in `other`.
+    pub fn intersection(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| other.contains(a))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set equality (order-insensitive). Structural `==` remains
+    /// order-sensitive, which is what schema *identity* (equivalence
+    /// condition (a) of §3.4) requires; this weaker test is used where the
+    /// paper talks about schemata as attribute sets.
+    pub fn same_attrs(&self, other: &Schema) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> IntoIterator for &'a Schema {
+    type Item = &'a Attr;
+    type IntoIter = std::slice::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter()
+    }
+}
+
+impl FromIterator<Attr> for Schema {
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        let mut s = Schema::empty();
+        for a in iter {
+            s.push(a);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_builds_in_order() {
+        let s = Schema::of(["a", "b", "c"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attrs()[1], Attr::new("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn of_rejects_duplicates() {
+        let _ = Schema::of(["a", "a"]);
+    }
+
+    #[test]
+    fn subset_is_order_insensitive() {
+        let s = Schema::of(["b", "a"]);
+        let t = Schema::of(["a", "b", "c"]);
+        assert!(s.is_subset_of(&t));
+        assert!(!t.is_subset_of(&s));
+    }
+
+    #[test]
+    fn union_preserves_order_and_dedups() {
+        let s = Schema::of(["a", "b"]);
+        let t = Schema::of(["b", "c"]);
+        assert_eq!(s.union(&t), Schema::of(["a", "b", "c"]));
+    }
+
+    #[test]
+    fn difference_removes_only_named() {
+        let s = Schema::of(["a", "b", "c"]);
+        assert_eq!(s.difference(&Schema::of(["b"])), Schema::of(["a", "c"]));
+        assert_eq!(s.difference(&Schema::empty()), s);
+    }
+
+    #[test]
+    fn intersection_keeps_left_order() {
+        let s = Schema::of(["c", "a", "b"]);
+        let t = Schema::of(["a", "c"]);
+        assert_eq!(s.intersection(&t), Schema::of(["c", "a"]));
+    }
+
+    #[test]
+    fn same_attrs_vs_structural_eq() {
+        let s = Schema::of(["a", "b"]);
+        let t = Schema::of(["b", "a"]);
+        assert!(s.same_attrs(&t));
+        assert_ne!(s, t);
+    }
+
+    #[test]
+    fn push_is_idempotent() {
+        let mut s = Schema::of(["a"]);
+        s.push(Attr::new("a"));
+        s.push(Attr::new("b"));
+        assert_eq!(s, Schema::of(["a", "b"]));
+    }
+
+    #[test]
+    fn display_renders_brackets() {
+        assert_eq!(Schema::of(["x", "y"]).to_string(), "[x,y]");
+        assert_eq!(Schema::empty().to_string(), "[]");
+    }
+}

@@ -1,0 +1,202 @@
+//! Automatic regeneration of activity schemata (§3.2, long version [19]).
+//!
+//! After every transition "the input and output schemata of each activity
+//! are automatically re-generated": we walk the graph in topological order,
+//! copy each provider's output schema into its consumers' input ports, and
+//! re-derive each activity's output schema from its semantics. A transition
+//! that leaves some activity without the attributes its functionality schema
+//! needs makes this walk fail — which is precisely how illegal rewirings are
+//! rejected (swap conditions 3 and 4 reduce to this walk succeeding).
+
+use crate::error::{CoreError, Result};
+use crate::graph::{Graph, Node, NodeId};
+use crate::schema::Schema;
+
+/// Re-derive all schemata from source recordsets forward. Intermediate
+/// recordsets adopt the schema of the flow written into them; *target*
+/// schemata are validated by [`crate::workflow::Workflow::validate`], not
+/// here, so the regeneration itself stays role-agnostic.
+pub fn regenerate(graph: &mut Graph) -> Result<()> {
+    regenerate_nodes(graph, None)
+}
+
+/// Re-derive schemata only for the nodes in (or downstream of) `starts` —
+/// the incremental form used after a transition, where everything upstream
+/// of the rewired nodes is untouched by construction.
+pub fn regenerate_downstream(graph: &mut Graph, starts: &[NodeId]) -> Result<()> {
+    let dirty = downstream_of(graph, starts)?;
+    regenerate_nodes(graph, Some(&dirty))
+}
+
+fn regenerate_nodes(graph: &mut Graph, only: Option<&[NodeId]>) -> Result<()> {
+    let order = match only {
+        None => graph.topo_order()?,
+        Some(dirty) => dirty.to_vec(), // already topologically ordered
+    };
+    for &id in &order {
+        let providers = graph.providers(id)?;
+        // Collect provider output schemata first (immutable pass).
+        let mut inputs: Vec<Option<Schema>> = Vec::with_capacity(providers.len());
+        for p in &providers {
+            inputs.push(match p {
+                Some(pid) => Some(graph.node(*pid)?.output_schema().clone()),
+                None => None,
+            });
+        }
+        match graph.node_mut(id)? {
+            Node::Activity(act) => {
+                let mut in_schemas = Vec::with_capacity(inputs.len());
+                for (port, s) in inputs.into_iter().enumerate() {
+                    match s {
+                        Some(s) => in_schemas.push(s),
+                        None => return Err(CoreError::MissingProvider { node: id, port }),
+                    }
+                }
+                let output = act.derive_output(&in_schemas)?;
+                act.inputs = in_schemas;
+                act.output = output;
+            }
+            Node::Recordset(_) => {
+                let is_target = graph.consumers(id)?.is_empty();
+                if let Node::Recordset(rs) = graph.node_mut(id)? {
+                    if let Some(Some(s)) = inputs.first() {
+                        // An intermediate recordset materializes exactly what
+                        // flows in. A *target* with a declared schema keeps
+                        // it: the flow must match (equivalence condition (a),
+                        // §3.4) and `Workflow::validate` rejects the state
+                        // otherwise. A target declared without a schema
+                        // adopts the flow as a convenience.
+                        let keep_declared = is_target && !rs.schema.is_empty();
+                        if !keep_declared && !rs.schema.same_attrs(s) {
+                            rs.schema = s.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check whether regeneration *would* succeed on this graph without
+/// mutating it. Transitions use this to test a candidate rewiring before
+/// committing.
+pub fn check(graph: &Graph) -> Result<()> {
+    let mut scratch = graph.clone();
+    regenerate(&mut scratch)
+}
+
+/// Nodes reachable downstream of `start` (inclusive), in topological order.
+/// Used by the semi-incremental cost computation (§4.1): after a transition
+/// only the path from the affected activities towards the targets changes.
+pub fn downstream_of(graph: &Graph, start: &[NodeId]) -> Result<Vec<NodeId>> {
+    let order = graph.topo_order()?;
+    let cap = order
+        .iter()
+        .map(|id| id.0 as usize)
+        .chain(start.iter().map(|id| id.0 as usize))
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut reached = vec![false; cap];
+    for id in start {
+        reached[id.0 as usize] = true;
+    }
+    let mut out = Vec::new();
+    for &id in &order {
+        let hit = reached[id.0 as usize]
+            || graph
+                .providers(id)?
+                .iter()
+                .flatten()
+                .any(|p| reached[p.0 as usize]);
+        if hit {
+            reached[id.0 as usize] = true;
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{binary, unary};
+    use crate::predicate::Predicate;
+    use crate::recordset::Recordset;
+    use crate::semantics::{BinaryOp, UnaryOp};
+
+    #[test]
+    fn propagates_through_chain() {
+        let mut g = Graph::new();
+        let s = g.add_recordset(Recordset::table("S", Schema::of(["pkey", "dollar_cost"])));
+        let f = g.add_activity(unary(
+            1,
+            "$2E",
+            UnaryOp::function("dollar2euro", ["dollar_cost"], "euro_cost"),
+        ));
+        let t = g.add_recordset(Recordset::table("T", Schema::empty()));
+        g.connect(s, f, 0).unwrap();
+        g.connect(f, t, 0).unwrap();
+        regenerate(&mut g).unwrap();
+        let act = g.activity(f).unwrap();
+        assert_eq!(act.inputs[0], Schema::of(["pkey", "dollar_cost"]));
+        assert_eq!(act.output, Schema::of(["pkey", "euro_cost"]));
+        assert_eq!(
+            g.recordset(t).unwrap().schema,
+            Schema::of(["pkey", "euro_cost"])
+        );
+    }
+
+    #[test]
+    fn fails_when_functionality_unsatisfied() {
+        let mut g = Graph::new();
+        let s = g.add_recordset(Recordset::table("S", Schema::of(["pkey"])));
+        let f = g.add_activity(unary(1, "σ", UnaryOp::filter(Predicate::gt("cost", 1))));
+        let t = g.add_recordset(Recordset::table("T", Schema::empty()));
+        g.connect(s, f, 0).unwrap();
+        g.connect(f, t, 0).unwrap();
+        assert!(regenerate(&mut g).is_err());
+        // check() reports the same without mutating.
+        assert!(check(&g).is_err());
+    }
+
+    #[test]
+    fn recordset_keeps_declared_order_when_same_set() {
+        let mut g = Graph::new();
+        let s = g.add_recordset(Recordset::table("S", Schema::of(["a", "b"])));
+        let t = g.add_recordset(Recordset::table("T", Schema::of(["b", "a"])));
+        g.connect(s, t, 0).unwrap();
+        regenerate(&mut g).unwrap();
+        assert_eq!(g.recordset(t).unwrap().schema, Schema::of(["b", "a"]));
+    }
+
+    #[test]
+    fn binary_inputs_both_propagate() {
+        let mut g = Graph::new();
+        let s1 = g.add_recordset(Recordset::table("S1", Schema::of(["a"])));
+        let s2 = g.add_recordset(Recordset::table("S2", Schema::of(["a"])));
+        let u = g.add_activity(binary(1, "U", BinaryOp::Union));
+        let t = g.add_recordset(Recordset::table("T", Schema::empty()));
+        g.connect(s1, u, 0).unwrap();
+        g.connect(s2, u, 1).unwrap();
+        g.connect(u, t, 0).unwrap();
+        regenerate(&mut g).unwrap();
+        assert_eq!(g.activity(u).unwrap().output, Schema::of(["a"]));
+    }
+
+    #[test]
+    fn downstream_of_walks_to_targets() {
+        let mut g = Graph::new();
+        let s = g.add_recordset(Recordset::table("S", Schema::of(["a"])));
+        let f1 = g.add_activity(unary(1, "σ1", UnaryOp::filter(Predicate::True)));
+        let f2 = g.add_activity(unary(2, "σ2", UnaryOp::filter(Predicate::True)));
+        let t = g.add_recordset(Recordset::table("T", Schema::empty()));
+        g.connect(s, f1, 0).unwrap();
+        g.connect(f1, f2, 0).unwrap();
+        g.connect(f2, t, 0).unwrap();
+        let down = downstream_of(&g, &[f2]).unwrap();
+        assert_eq!(down, vec![f2, t]);
+        let all = downstream_of(&g, &[s]).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! State signatures (§4.1).
+//!
+//! During search we must recognize states we have already visited. The paper
+//! assigns each activity its initial topological priority as a lifelong
+//! identifier and serializes the workflow structure into a string — the
+//! example of Fig. 1 has signature `((1.3)//(2.4.5.6)).7.8.9`.
+//!
+//! Our serialization follows the same grammar:
+//!
+//! * a source recordset renders as its priority,
+//! * a unary activity renders as `<provider>.<id>`,
+//! * a binary activity renders as `(<left>//<right>).<id>`, with the two
+//!   branches sorted lexicographically when the operator is commutative so
+//!   that mirror-image states collapse to one signature,
+//! * recordsets in mid-flow and targets render like unary activities.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::{Node, NodeId};
+use crate::workflow::Workflow;
+
+/// A canonical state identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(String);
+
+impl Signature {
+    /// Compute the signature of a workflow state.
+    pub fn of(wf: &Workflow) -> Signature {
+        // Memoize only nodes with more than one consumer (shared subflows);
+        // pure tree shapes — the overwhelmingly common case in the search
+        // hot loop — render without any map traffic.
+        let mut memo: HashMap<NodeId, String> = HashMap::new();
+        let mut targets: Vec<String> = wf
+            .targets()
+            .into_iter()
+            .map(|t| {
+                let mut out = String::with_capacity(64);
+                render(wf, t, &mut memo, &mut out);
+                out
+            })
+            .collect();
+        targets.sort();
+        Signature(targets.join("||"))
+    }
+
+    /// The signature string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn render(wf: &Workflow, id: NodeId, memo: &mut HashMap<NodeId, String>, out: &mut String) {
+    use std::fmt::Write;
+    let graph = wf.graph();
+    let shared = graph.consumers(id).map(|c| c.len() > 1).unwrap_or(false);
+    if shared {
+        if let Some(s) = memo.get(&id) {
+            out.push_str(s);
+            return;
+        }
+    }
+    let start = out.len();
+    let providers = graph.providers(id).unwrap_or_default();
+    match providers.len() {
+        0 => {}
+        1 => {
+            if let Some(p) = providers[0] {
+                render(wf, p, memo, out);
+                out.push('.');
+            }
+        }
+        _ => {
+            let mut l = String::with_capacity(32);
+            let mut r = String::with_capacity(32);
+            if let Some(p) = providers[0] {
+                render(wf, p, memo, &mut l);
+            }
+            if let Some(p) = providers[1] {
+                render(wf, p, memo, &mut r);
+            }
+            let commutative = match graph.node(id) {
+                Ok(Node::Activity(a)) => match &a.op {
+                    crate::activity::Op::Binary(b) => b.is_commutative(),
+                    _ => false,
+                },
+                _ => false,
+            };
+            let (l, r) = if commutative && r < l { (r, l) } else { (l, r) };
+            let _ = write!(out, "(({l})//({r})).");
+        }
+    }
+    match graph.node(id) {
+        Ok(Node::Activity(a)) => {
+            let _ = write!(out, "{}", a.id);
+        }
+        _ => out.push_str(&wf.priority_token(id)),
+    }
+    if shared {
+        memo.insert(id, out[start..].to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::semantics::{BinaryOp, UnaryOp};
+    use crate::workflow::WorkflowBuilder;
+
+    fn linear() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["a"]), 10.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+        let g = b.unary("NN", UnaryOp::not_null("a"), f);
+        b.target("T", Schema::of(["a"]), g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linear_chain_renders_dotted() {
+        assert_eq!(linear().signature().as_str(), "1.2.3.4");
+    }
+
+    #[test]
+    fn commutative_branches_are_canonicalized() {
+        // Build the same union twice with swapped source insertion order;
+        // signatures must coincide.
+        let build = |flip: bool| {
+            let mut b = WorkflowBuilder::new();
+            let s1 = b.source("S1", Schema::of(["a"]), 10.0);
+            let s2 = b.source("S2", Schema::of(["a"]), 10.0);
+            let (l, r) = if flip { (s2, s1) } else { (s1, s2) };
+            let u = b.binary("U", BinaryOp::Union, l, r);
+            b.target("T", Schema::of(["a"]), u);
+            b.build().unwrap()
+        };
+        assert_eq!(build(false).signature(), build(true).signature());
+    }
+
+    #[test]
+    fn difference_branch_order_matters() {
+        let build = |flip: bool| {
+            let mut b = WorkflowBuilder::new();
+            let s1 = b.source("S1", Schema::of(["a"]), 10.0);
+            let s2 = b.source("S2", Schema::of(["a"]), 10.0);
+            let (l, r) = if flip { (s2, s1) } else { (s1, s2) };
+            let u = b.binary("D", BinaryOp::Difference, l, r);
+            b.target("T", Schema::of(["a"]), u);
+            b.build().unwrap()
+        };
+        assert_ne!(build(false).signature(), build(true).signature());
+    }
+
+    #[test]
+    fn multi_target_signatures_join_sorted() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["a"]), 10.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+        b.target("T1", Schema::of(["a"]), f);
+        b.target("T2", Schema::of(["a"]), s);
+        let wf = b.build().unwrap();
+        let sig = wf.signature().to_string();
+        assert!(sig.contains("||"), "{sig}");
+        // Both target chains present, lexicographically ordered.
+        let parts: Vec<&str> = sig.split("||").collect();
+        assert_eq!(parts.len(), 2);
+        let mut sorted = parts.clone();
+        sorted.sort();
+        assert_eq!(parts, sorted);
+    }
+
+    #[test]
+    fn shared_subflow_renders_in_both_branches() {
+        // One filter read by both ports of an intersection: the memoized
+        // render must repeat the shared chain, not truncate it.
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["a"]), 10.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+        let j = b.binary("∩", BinaryOp::Intersection, f, f);
+        b.target("T", Schema::of(["a"]), j);
+        let wf = b.build().unwrap();
+        let sig = wf.signature().to_string();
+        assert_eq!(sig.matches("1.2").count(), 2, "{sig}");
+    }
+
+    #[test]
+    fn signature_is_stable_across_clones() {
+        let wf = linear();
+        assert_eq!(wf.signature(), wf.clone().signature());
+    }
+}

@@ -1,0 +1,325 @@
+//! Tokenizer for the workflow text format.
+
+use crate::error::{CoreError, Result};
+
+/// A token of the workflow DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`filter`, `pkey`, …).
+    Ident(String),
+    /// Double-quoted string (escapes: `\"`, `\\`).
+    Str(String),
+    /// Numeric literal (held as text; the parser decides int vs float).
+    Number(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// Identifier payload, if this is one.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "<-", "->", "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ";", "{", "}",
+];
+
+/// Tokenize one logical line.
+pub fn tokenize(line: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            break; // trailing comment
+        }
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        match bytes.get(i + 1) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(CoreError::Schema(format!(
+                                    "bad escape {other:?} in string literal"
+                                )))
+                            }
+                        }
+                        i += 2;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        i += 1;
+                    }
+                    None => {
+                        return Err(CoreError::Schema(format!(
+                            "unterminated string in `{line}`"
+                        )))
+                    }
+                }
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        // Multi-char puncts first.
+        for p in PUNCTS {
+            if line_at(&bytes, i, p) {
+                out.push(Token::Punct(p));
+                i += p.chars().count();
+                continue 'outer;
+            }
+        }
+        if c.is_ascii_digit()
+            || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+        {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || (bytes[i] == '-' && matches!(bytes[i - 1], 'e' | 'E')))
+            {
+                i += 1;
+            }
+            out.push(Token::Number(bytes[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                i += 1;
+            }
+            out.push(Token::Ident(bytes[start..i].iter().collect()));
+            continue;
+        }
+        return Err(CoreError::Schema(format!(
+            "unexpected character `{c}` in `{line}`"
+        )));
+    }
+    Ok(out)
+}
+
+fn line_at(bytes: &[char], i: usize, pat: &str) -> bool {
+    let pat: Vec<char> = pat.chars().collect();
+    bytes.len() >= i + pat.len() && bytes[i..i + pat.len()] == pat[..]
+}
+
+/// Cursor over a token list with expectation helpers.
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: String,
+}
+
+impl Cursor {
+    /// Tokenize and wrap.
+    pub fn new(line: &str) -> Result<Cursor> {
+        Ok(Cursor {
+            tokens: tokenize(line)?,
+            pos: 0,
+            line: line.to_owned(),
+        })
+    }
+
+    /// Peek the next token.
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Take the next token.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Error with line context.
+    pub fn err(&self, msg: impl std::fmt::Display) -> CoreError {
+        CoreError::Schema(format!("{msg} (in `{}`)", self.line.trim()))
+    }
+
+    /// Expect a specific punct.
+    pub fn expect_punct(&mut self, p: &'static str) -> Result<()> {
+        match self.next() {
+            Some(Token::Punct(q)) if q == p => Ok(()),
+            other => Err(self.err(format!("expected `{p}`, got {other:?}"))),
+        }
+    }
+
+    /// Expect an identifier.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    /// Expect a specific keyword.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, got {other:?}"))),
+        }
+    }
+
+    /// Expect a quoted string.
+    pub fn expect_str(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected string literal, got {other:?}"))),
+        }
+    }
+
+    /// Expect a number, parsed as f64.
+    pub fn expect_number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Token::Number(s)) => s
+                .parse()
+                .map_err(|e| self.err(format!("bad number `{s}`: {e}"))),
+            other => Err(self.err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// Consume a punct if it is next; report whether it was.
+    pub fn eat_punct(&mut self, p: &'static str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword if it is next; report whether it was.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Are all tokens consumed?
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Fail unless at end.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing tokens from {:?}", self.peek())))
+        }
+    }
+
+    /// Parse a parenthesized, comma-separated identifier list.
+    pub fn ident_list(&mut self) -> Result<Vec<String>> {
+        self.expect_punct("(")?;
+        let mut out = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expect_ident()?);
+            if self.eat_punct(")") {
+                return Ok(out);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_mixed_line() {
+        let toks = tokenize(r#"activity a3 "NN" = not_null(cost) sel=0.95 <- s1"#).unwrap();
+        assert_eq!(toks[0], Token::Ident("activity".into()));
+        assert_eq!(toks[2], Token::Str("NN".into()));
+        assert!(toks.contains(&Token::Punct("<-")));
+        assert!(toks.contains(&Token::Number("0.95".into())));
+    }
+
+    #[test]
+    fn multichar_puncts_win_over_single() {
+        let toks = tokenize("a <= b <> c <- d -> e").unwrap();
+        let puncts: Vec<&Token> = toks
+            .iter()
+            .filter(|t| matches!(t, Token::Punct(_)))
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![
+                &Token::Punct("<="),
+                &Token::Punct("<>"),
+                &Token::Punct("<-"),
+                &Token::Punct("->")
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize(r#""he said \"hi\" \\ back""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("he said \"hi\" \\ back".into())]);
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let toks = tokenize("-3 4.5 1e-3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("-3".into()),
+                Token::Number("4.5".into()),
+                Token::Number("1e-3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(tokenize("a b # rest ignored").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn cursor_helpers() {
+        let mut c = Cursor::new("filter (a, b)").unwrap();
+        c.expect_keyword("filter").unwrap();
+        assert_eq!(c.ident_list().unwrap(), vec!["a", "b"]);
+        c.expect_end().unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! State transitions (§2.2, §3.3): the generators of the search space.
+//!
+//! | Transition | Notation | Effect |
+//! |---|---|---|
+//! | [`Swap`] | `SWA(a₁,a₂)` | interchange two adjacent unary activities |
+//! | [`Factorize`] | `FAC(a_b,a₁,a₂)` | replace homologous activities on converging flows by one activity after the binary |
+//! | [`Distribute`] | `DIS(a_b,a)` | clone an activity from after a binary into both converging flows |
+//! | [`Merge`] | `MER(a₁₊₂,a₁,a₂)` | package two adjacent activities into one indivisible node |
+//! | [`Split`] | `SPL(a₁₊₂,a₁,a₂)` | unpackage a merged node |
+//!
+//! Every transition implements [`Transition`]: `check` encodes the paper's
+//! numbered applicability conditions (plus the semantic-exactness rules of
+//! [`commute`]) and `apply` produces the successor state with all schemata
+//! regenerated. Applying a transition to a state it is not applicable to is
+//! an error, never a panic, and never a silently wrong workflow.
+
+pub mod commute;
+mod distribute;
+mod factorize;
+mod merge_split;
+mod swap;
+
+pub use distribute::Distribute;
+pub use factorize::{distributable_through, Factorize};
+pub use merge_split::{split_all, Merge, Split};
+pub use swap::Swap;
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::graph::NodeId;
+use crate::workflow::Workflow;
+
+/// Which of the five transitions a value represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// `SWA`.
+    Swap,
+    /// `FAC`.
+    Factorize,
+    /// `DIS`.
+    Distribute,
+    /// `MER`.
+    Merge,
+    /// `SPL`.
+    Split,
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransitionKind::Swap => "SWA",
+            TransitionKind::Factorize => "FAC",
+            TransitionKind::Distribute => "DIS",
+            TransitionKind::Merge => "MER",
+            TransitionKind::Split => "SPL",
+        })
+    }
+}
+
+/// Why a transition is not applicable to a state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionError {
+    /// The involved activities are not adjacent in the graph (swap
+    /// condition 1, merge precondition).
+    NotAdjacent(NodeId, NodeId),
+    /// An involved activity is not unary / does not have a single input and
+    /// output schema (swap condition 2).
+    NotUnary(NodeId),
+    /// A node's output has more than one consumer (swap condition 2).
+    MultipleConsumers(NodeId),
+    /// Functionality schema would not be contained in the input schema
+    /// after the rewiring (swap condition 3 — the Fig. 5 `$2€`/`σ(€)` case).
+    FunctionalityViolated {
+        /// The activity whose functionality schema breaks.
+        node: NodeId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An input schema would lose its provider attributes (swap
+    /// condition 4 — the Fig. 6 projected-out case).
+    ProviderViolated {
+        /// The activity whose input breaks.
+        node: NodeId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The two activities do not commute semantically (blocking operators,
+    /// non-injective functions across aggregations, …).
+    NotCommutative {
+        /// First activity.
+        a: NodeId,
+        /// Second activity.
+        b: NodeId,
+        /// Why.
+        detail: String,
+    },
+    /// The activities are not homologous (factorize condition 1).
+    NotHomologous(NodeId, NodeId),
+    /// The designated node is not a binary activity (factorize/distribute
+    /// condition 2).
+    NotBinary(NodeId),
+    /// The activity cannot be distributed/factorized through this binary
+    /// operator (e.g. an aggregation over a union, a non-injective function
+    /// over a difference).
+    NotDistributable {
+        /// The activity.
+        node: NodeId,
+        /// Why.
+        detail: String,
+    },
+    /// Split requires a merged activity.
+    NotMerged(NodeId),
+    /// An underlying graph/schema error surfaced by the rewiring attempt.
+    Graph(CoreError),
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionError::NotAdjacent(a, b) => write!(f, "{a} and {b} are not adjacent"),
+            TransitionError::NotUnary(n) => write!(f, "{n} is not a unary activity"),
+            TransitionError::MultipleConsumers(n) => {
+                write!(f, "{n}'s output has more than one consumer")
+            }
+            TransitionError::FunctionalityViolated { node, detail } => {
+                write!(f, "functionality schema of {node} violated: {detail}")
+            }
+            TransitionError::ProviderViolated { node, detail } => {
+                write!(f, "input schema of {node} loses its provider: {detail}")
+            }
+            TransitionError::NotCommutative { a, b, detail } => {
+                write!(f, "{a} and {b} do not commute: {detail}")
+            }
+            TransitionError::NotHomologous(a, b) => {
+                write!(f, "{a} and {b} are not homologous")
+            }
+            TransitionError::NotBinary(n) => write!(f, "{n} is not a binary activity"),
+            TransitionError::NotDistributable { node, detail } => {
+                write!(f, "{node} cannot be distributed: {detail}")
+            }
+            TransitionError::NotMerged(n) => write!(f, "{n} is not a merged activity"),
+            TransitionError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+impl From<CoreError> for TransitionError {
+    fn from(e: CoreError) -> Self {
+        TransitionError::Graph(e)
+    }
+}
+
+/// A state transition `S' = T(S)`.
+pub trait Transition: fmt::Debug {
+    /// Which transition this is.
+    fn kind(&self) -> TransitionKind;
+
+    /// The nodes whose position/semantics the transition touches, queried
+    /// against the *pre*-transition state; everything downstream of these in
+    /// the successor is what the semi-incremental costing recomputes.
+    /// Implementations must include every node whose output or cost can
+    /// change — for Distribute that includes the binary's providers, since
+    /// the clones are spliced in directly after them.
+    fn affected(&self, wf: &Workflow) -> Vec<NodeId>;
+
+    /// Produce the successor state, or explain why the transition is not
+    /// applicable. Implementations clone the state, rewire, regenerate all
+    /// schemata and re-validate; the input state is never mutated.
+    fn apply(&self, wf: &Workflow) -> Result<Workflow, TransitionError>;
+
+    /// Applicability test without constructing the successor. The default
+    /// simply tries `apply` and drops the state; implementations may
+    /// short-circuit cheap structural conditions first.
+    fn check(&self, wf: &Workflow) -> Result<(), TransitionError> {
+        self.apply(wf).map(|_| ())
+    }
+
+    /// Paper-style rendering, e.g. `SWA(3,4)`.
+    fn describe(&self, wf: &Workflow) -> String;
+}
+
+/// Finalize a rewired candidate: regenerate the schemata downstream of the
+/// rewired nodes and re-check the state, mapping failures to transition
+/// errors. Shared by all transition implementations.
+///
+/// `affected` are the transition's touched nodes as reported by
+/// [`Transition::affected`] against the *pre*-state; everything upstream of
+/// them is untouched by construction, so only the downstream slice is
+/// re-derived. The full structural validation runs in debug builds (and is
+/// exercised heavily by the test suite); release-mode searches rely on the
+/// transitions' structural invariants plus the always-on target-schema
+/// check.
+pub(crate) fn finalize(mut wf: Workflow, affected: &[NodeId]) -> Result<Workflow, TransitionError> {
+    crate::schema_gen::regenerate_downstream(&mut wf.graph, affected).map_err(|e| match e {
+        CoreError::Schema(detail) => TransitionError::FunctionalityViolated {
+            node: NodeId(u32::MAX),
+            detail,
+        },
+        other => TransitionError::Graph(other),
+    })?;
+    // Equivalence condition (a): targets must still receive their declared
+    // schema. Cheap (targets only), always on.
+    for t in wf.targets() {
+        let r = wf.graph.recordset(t).map_err(TransitionError::Graph)?;
+        if let Some(p) = wf.graph.provider(t, 0).map_err(TransitionError::Graph)? {
+            let out = wf
+                .graph
+                .node(p)
+                .map_err(TransitionError::Graph)?
+                .output_schema();
+            if !out.same_attrs(&r.schema) {
+                return Err(TransitionError::Graph(CoreError::Schema(format!(
+                    "target {} declares {} but would receive {}",
+                    r.name, r.schema, out
+                ))));
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    wf.validate().map_err(TransitionError::Graph)?;
+    Ok(wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_render_paper_notation() {
+        assert_eq!(TransitionKind::Swap.to_string(), "SWA");
+        assert_eq!(TransitionKind::Factorize.to_string(), "FAC");
+        assert_eq!(TransitionKind::Distribute.to_string(), "DIS");
+        assert_eq!(TransitionKind::Merge.to_string(), "MER");
+        assert_eq!(TransitionKind::Split.to_string(), "SPL");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = TransitionError::NotAdjacent(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("not adjacent"));
+        let e = TransitionError::NotCommutative {
+            a: NodeId(1),
+            b: NodeId(2),
+            detail: "x".into(),
+        };
+        assert!(e.to_string().contains("do not commute"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests over the core data structures: schema algebra, predicate
+//! text round-trips, commutation symmetry and signature/graph invariants.
+
+use etlopt_core::predicate::{CmpOp, Predicate};
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::{Attr, Schema};
+use etlopt_core::semantics::{Aggregation, UnaryOp};
+use etlopt_core::transition::commute::ops_commute;
+use proptest::prelude::*;
+
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-d]{1,2}".prop_map(|s| s)
+}
+
+fn schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::btree_set(attr_name(), 0..5)
+        .prop_map(|s| s.into_iter().map(Attr::new).collect())
+}
+
+fn scalar() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        Just(Scalar::Null),
+        any::<i32>().prop_map(|i| Scalar::Int(i as i64)),
+        (-1000.0..1000.0f64).prop_map(Scalar::Float),
+        any::<bool>().prop_map(Scalar::Bool),
+        (-5000i32..5000).prop_map(Scalar::Date),
+        "[ -~]{0,12}".prop_map(Scalar::from),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        (attr_name(), cmp_op(), scalar()).prop_map(|(a, op, v)| Predicate::Cmp {
+            attr: a.into(),
+            op,
+            value: v
+        }),
+        attr_name().prop_map(|a| Predicate::not_null(a.as_str())),
+        attr_name().prop_map(|a| Predicate::IsNull(Attr::new(a))),
+        (attr_name(), proptest::collection::vec(scalar(), 1..4)).prop_map(|(a, vs)| {
+            Predicate::InList {
+                attr: a.into(),
+                values: vs,
+            }
+        }),
+        Just(Predicate::True),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Predicate::not),
+        ]
+    })
+}
+
+proptest! {
+    // --- Schema algebra -------------------------------------------------
+
+    #[test]
+    fn union_is_idempotent_and_monotone(a in schema(), b in schema()) {
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert_eq!(u.union(&b), u.clone());
+        prop_assert!(u.same_attrs(&b.union(&a)));
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(a in schema(), b in schema()) {
+        let d = a.difference(&b);
+        let i = a.intersection(&b);
+        prop_assert_eq!(d.len() + i.len(), a.len());
+        for x in d.iter() {
+            prop_assert!(!b.contains(x));
+        }
+        for x in i.iter() {
+            prop_assert!(b.contains(x));
+        }
+        // d and i are disjoint and together rebuild a (as a set).
+        prop_assert!(d.union(&i).same_attrs(&a));
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(a in schema(), b in schema(), c in schema()) {
+        prop_assert!(a.is_subset_of(&a));
+        if a.is_subset_of(&b) && b.is_subset_of(&c) {
+            prop_assert!(a.is_subset_of(&c));
+        }
+        if a.is_subset_of(&b) && b.is_subset_of(&a) {
+            prop_assert!(a.same_attrs(&b));
+        }
+    }
+
+    // --- Scalars ---------------------------------------------------------
+
+    #[test]
+    fn total_cmp_is_a_total_order(a in scalar(), b in scalar(), c in scalar()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn compare_is_antisymmetric_when_defined(a in scalar(), b in scalar()) {
+        if let (Some(x), Some(y)) = (a.compare(&b), b.compare(&a)) {
+            prop_assert_eq!(x, y.reverse());
+        }
+    }
+
+    // --- Predicates ------------------------------------------------------
+
+    #[test]
+    fn predicate_text_roundtrips(p in predicate()) {
+        let text = etlopt_core::text::pred::render(&p);
+        let mut cursor = etlopt_core::text::lexer::Cursor::new(&text).unwrap();
+        let back = etlopt_core::text::pred::parse(&mut cursor).unwrap();
+        cursor.expect_end().unwrap();
+        prop_assert_eq!(back, p, "through `{}`", text);
+    }
+
+    #[test]
+    fn referenced_attrs_covers_every_leaf(p in predicate()) {
+        // Rendering mentions exactly the attributes referenced_attrs reports
+        // (string containment as a weak but effective oracle).
+        let attrs = p.referenced_attrs();
+        let text = etlopt_core::text::pred::render(&p);
+        for a in attrs.iter() {
+            prop_assert!(text.contains(a.name()), "{} not in `{}`", a, text);
+        }
+    }
+
+    // --- Commutation -----------------------------------------------------
+
+    #[test]
+    fn ops_commute_is_symmetric(
+        a_attr in attr_name(),
+        b_attr in attr_name(),
+        which_a in 0usize..5,
+        which_b in 0usize..5,
+    ) {
+        let mk = |which: usize, attr: &str| -> UnaryOp {
+            match which {
+                0 => UnaryOp::filter(Predicate::gt(attr, 1)),
+                1 => UnaryOp::not_null(attr),
+                2 => UnaryOp::function("f", [attr], attr),
+                3 => UnaryOp::aggregate(Aggregation::sum([attr], attr, attr)),
+                _ => UnaryOp::Dedup { selectivity: 1.0 },
+            }
+        };
+        let a = mk(which_a, &a_attr);
+        let b = mk(which_b, &b_attr);
+        prop_assert_eq!(ops_commute(&a, &b).is_ok(), ops_commute(&b, &a).is_ok());
+    }
+
+    // --- Activity-id algebra ----------------------------------------------
+
+    #[test]
+    fn factored_distributed_are_inverse(base in 0u32..1000) {
+        use etlopt_core::activity::ActivityId;
+        let id = ActivityId::Base(base);
+        let (c1, c2) = ActivityId::distributed(&id);
+        prop_assert_eq!(ActivityId::factored(&c1, &c2), id.clone());
+        let other = ActivityId::Base(base.wrapping_add(1));
+        let f = ActivityId::factored(&id, &other);
+        let (x, y) = ActivityId::distributed(&f);
+        prop_assert!(
+            (x == id.clone() && y == other.clone()) || (x == other && y == id)
+        );
+    }
+}

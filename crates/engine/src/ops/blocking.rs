@@ -1,0 +1,291 @@
+//! Blocking operators: primary-key check, duplicate elimination, group-by
+//! aggregation.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::{Attr, Schema};
+use etlopt_core::semantics::{AggFunc, Aggregation};
+
+use crate::error::{EngineError, Result};
+use crate::ops::tuple_key;
+use crate::table::{Row, Table};
+
+/// `PK(key)`: keep the first row per key, drop later violators.
+pub fn pk_check(key: &[Attr], input: &Table) -> Result<Table> {
+    let cols: Vec<usize> = key.iter().map(|a| input.col(a)).collect::<Result<_>>()?;
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut out = Table::empty(input.schema().clone());
+    for row in input.rows() {
+        let k = tuple_key(cols.iter().map(|&i| &row[i]));
+        if let Entry::Vacant(e) = seen.entry(k) {
+            e.insert(());
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// `DD()`: whole-row duplicate elimination, keeping first occurrences.
+pub fn dedup(input: &Table) -> Result<Table> {
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut out = Table::empty(input.schema().clone());
+    for row in input.rows() {
+        let k = tuple_key(row.iter());
+        if let Entry::Vacant(e) = seen.entry(k) {
+            e.insert(());
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Accumulator for one aggregate column.
+#[derive(Debug, Clone)]
+struct Acc {
+    func: AggFunc,
+    sum: f64,
+    count: u64,
+    min: Option<Scalar>,
+    max: Option<Scalar>,
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Self {
+        Acc {
+            func,
+            sum: 0.0,
+            count: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn feed(&mut self, v: &Scalar) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum += v.as_f64().ok_or_else(|| {
+                    EngineError::Type(format!("cannot aggregate non-numeric value {v}"))
+                })?;
+            }
+            AggFunc::Count => {}
+            AggFunc::Min => {
+                let replace = match &self.min {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let replace = match &self.max {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Scalar {
+        match self.func {
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(self.sum)
+                }
+            }
+            AggFunc::Count => Scalar::Int(self.count as i64),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Scalar::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Scalar::Null),
+        }
+    }
+}
+
+/// `γ(group_by; aggregates)`: output schema is groupers then aggregate
+/// outputs, groups emitted in first-appearance order (deterministic).
+pub fn aggregate(agg: &Aggregation, input: &Table) -> Result<Table> {
+    let group_cols: Vec<usize> = agg
+        .group_by
+        .iter()
+        .map(|a| input.col(a))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<usize> = agg
+        .aggregates
+        .iter()
+        .map(|s| input.col(&s.input))
+        .collect::<Result<_>>()?;
+
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Row, Vec<Acc>)> = HashMap::new();
+    for row in input.rows() {
+        let k = tuple_key(group_cols.iter().map(|&i| &row[i]));
+        let entry = match groups.entry(k.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                order.push(k);
+                let key_row: Row = group_cols.iter().map(|&i| row[i].clone()).collect();
+                let accs = agg.aggregates.iter().map(|s| Acc::new(s.func)).collect();
+                e.insert((key_row, accs))
+            }
+        };
+        for (acc, &col) in entry.1.iter_mut().zip(agg_cols.iter()) {
+            acc.feed(&row[col])?;
+        }
+    }
+
+    let mut out_schema: Schema = agg.group_by.iter().cloned().collect();
+    for s in &agg.aggregates {
+        out_schema.push(s.output.clone());
+    }
+    let mut out = Table::empty(out_schema);
+    for k in &order {
+        let (key_row, accs) = &groups[k];
+        let mut row = key_row.clone();
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        out.push(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_core::semantics::AggSpec;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::of(["k", "v"]),
+            vec![
+                vec![1.into(), 10.into()],
+                vec![2.into(), 20.into()],
+                vec![1.into(), 30.into()],
+                vec![1.into(), Scalar::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pk_check_keeps_first_per_key() {
+        let out = pk_check(&[Attr::new("k")], &sample()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0][1], Scalar::Int(10));
+    }
+
+    #[test]
+    fn dedup_whole_rows() {
+        let t = Table::from_rows(
+            Schema::of(["a"]),
+            vec![vec![1.into()], vec![1.into()], vec![2.into()]],
+        )
+        .unwrap();
+        assert_eq!(dedup(&t).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sum_ignores_nulls() {
+        let agg = Aggregation::sum(["k"], "v", "total");
+        let out = aggregate(&agg, &sample()).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k", "total"]));
+        assert_eq!(out.len(), 2);
+        // Group k=1: 10 + 30 (NULL ignored).
+        assert_eq!(out.rows()[0], vec![Scalar::Int(1), Scalar::Float(40.0)]);
+        assert_eq!(out.rows()[1], vec![Scalar::Int(2), Scalar::Float(20.0)]);
+    }
+
+    #[test]
+    fn count_counts_non_nulls() {
+        let agg = Aggregation::new(
+            ["k"],
+            vec![AggSpec {
+                func: AggFunc::Count,
+                input: "v".into(),
+                output: "n".into(),
+            }],
+        );
+        let out = aggregate(&agg, &sample()).unwrap();
+        assert_eq!(out.rows()[0], vec![Scalar::Int(1), Scalar::Int(2)]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let agg = Aggregation::new(
+            ["k"],
+            vec![
+                AggSpec {
+                    func: AggFunc::Min,
+                    input: "v".into(),
+                    output: "lo".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    input: "v".into(),
+                    output: "hi".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    input: "v".into(),
+                    output: "mean".into(),
+                },
+            ],
+        );
+        let out = aggregate(&agg, &sample()).unwrap();
+        assert_eq!(
+            out.rows()[0],
+            vec![
+                Scalar::Int(1),
+                Scalar::Int(10),
+                Scalar::Int(30),
+                Scalar::Float(20.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_group_aggregates_to_null() {
+        let t =
+            Table::from_rows(Schema::of(["k", "v"]), vec![vec![1.into(), Scalar::Null]]).unwrap();
+        let agg = Aggregation::sum(["k"], "v", "s");
+        let out = aggregate(&agg, &t).unwrap();
+        assert_eq!(out.rows()[0][1], Scalar::Null);
+    }
+
+    #[test]
+    fn sum_of_strings_is_a_type_error() {
+        let t =
+            Table::from_rows(Schema::of(["k", "v"]), vec![vec![1.into(), "oops".into()]]).unwrap();
+        let agg = Aggregation::sum(["k"], "v", "s");
+        assert!(matches!(
+            aggregate(&agg, &t).unwrap_err(),
+            EngineError::Type(_)
+        ));
+    }
+
+    #[test]
+    fn aggregate_reusing_input_name() {
+        // SUM(v) → v, the paper's γ-SUM shape.
+        let agg = Aggregation::sum(["k"], "v", "v");
+        let out = aggregate(&agg, &sample()).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k", "v"]));
+    }
+}

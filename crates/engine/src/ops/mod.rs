@@ -1,0 +1,116 @@
+//! Physical operators: one executable implementation per activity
+//! semantics variant.
+//!
+//! Operators are batch-at-a-time (`Table` in, `Table` out), preserve input
+//! row order (which keeps keep-first semantics like the PK check
+//! deterministic), and produce output columns in exactly the order the
+//! core's schema derivation dictates — so engine tables always line up with
+//! the optimizer's derived schemata.
+
+mod binary;
+mod blocking;
+mod surrogate;
+mod unary;
+
+pub use binary::exec_binary;
+
+use etlopt_core::semantics::UnaryOp;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::functions::FunctionRegistry;
+use crate::table::Table;
+
+/// Shared execution context.
+pub struct ExecCtx<'a> {
+    /// Scalar function implementations.
+    pub functions: &'a FunctionRegistry,
+    /// Source tables and surrogate lookups.
+    pub catalog: &'a Catalog,
+    /// Derive surrogates deterministically from the key when the lookup
+    /// table has no entry (instead of failing).
+    pub auto_lookup: bool,
+}
+
+/// Execute one unary operation.
+pub fn exec_unary(op: &UnaryOp, input: &Table, ctx: &ExecCtx<'_>) -> Result<Table> {
+    match op {
+        UnaryOp::Filter { predicate, .. } => unary::filter(predicate, input),
+        UnaryOp::NotNull { attr, .. } => unary::not_null(attr, input),
+        UnaryOp::Function(f) => unary::function(f, input, ctx),
+        UnaryOp::ProjectOut(attrs) => unary::project_out(attrs, input),
+        UnaryOp::AddField { attr, value } => unary::add_field(attr, value, input),
+        UnaryOp::PkCheck { key, .. } => blocking::pk_check(key, input),
+        UnaryOp::Dedup { .. } => blocking::dedup(input),
+        UnaryOp::Aggregate { agg, .. } => blocking::aggregate(agg, input),
+        UnaryOp::SurrogateKey {
+            key,
+            surrogate,
+            lookup,
+        } => surrogate::surrogate_key(key, surrogate, lookup, input, ctx),
+    }
+}
+
+/// Execute a chain of unary operations (a merged activity), returning the
+/// final table and the total number of rows processed across the links.
+pub fn exec_chain(chain: &[UnaryOp], input: &Table, ctx: &ExecCtx<'_>) -> Result<(Table, u64)> {
+    let mut cur = input.clone();
+    let mut processed = 0u64;
+    for op in chain {
+        processed += cur.len() as u64;
+        cur = exec_unary(op, &cur, ctx)?;
+    }
+    Ok((cur, processed))
+}
+
+/// Canonical key string for a tuple of values (used for grouping, dedup and
+/// bag arithmetic). The unit separator keeps composite keys unambiguous.
+pub(crate) fn tuple_key<'a>(
+    values: impl Iterator<Item = &'a etlopt_core::scalar::Scalar>,
+) -> String {
+    let mut out = String::new();
+    for v in values {
+        out.push_str(&crate::catalog::canonical_key(v));
+        out.push('\u{1f}');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_core::predicate::Predicate;
+    use etlopt_core::schema::Schema;
+
+    fn ctx_fixture() -> (FunctionRegistry, Catalog) {
+        (FunctionRegistry::builtin(), Catalog::new())
+    }
+
+    #[test]
+    fn chain_counts_processed_rows_per_link() {
+        let (f, c) = ctx_fixture();
+        let ctx = ExecCtx {
+            functions: &f,
+            catalog: &c,
+            auto_lookup: true,
+        };
+        let t =
+            Table::from_rows(Schema::of(["v"]), (0..10).map(|i| vec![i.into()]).collect()).unwrap();
+        // σ(v>=5) keeps 5 rows, then σ(v>=8) keeps 2.
+        let chain = vec![
+            UnaryOp::filter(Predicate::ge("v", 5)),
+            UnaryOp::filter(Predicate::ge("v", 8)),
+        ];
+        let (out, processed) = exec_chain(&chain, &t, &ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(processed, 10 + 5);
+    }
+
+    #[test]
+    fn tuple_key_distinguishes_boundaries() {
+        use etlopt_core::scalar::Scalar;
+        let a = [Scalar::from("ab"), Scalar::from("c")];
+        let b = [Scalar::from("a"), Scalar::from("bc")];
+        assert_ne!(tuple_key(a.iter()), tuple_key(b.iter()));
+    }
+}

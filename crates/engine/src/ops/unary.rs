@@ -1,0 +1,209 @@
+//! Row-wise operators: filter, not-null, function application, projection,
+//! constant fields.
+
+use etlopt_core::predicate::Predicate;
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::Attr;
+use etlopt_core::semantics::FunctionApp;
+
+use crate::error::Result;
+use crate::eval;
+use crate::ops::ExecCtx;
+use crate::table::Table;
+
+/// `σ(predicate)`.
+pub fn filter(pred: &Predicate, input: &Table) -> Result<Table> {
+    let mut out = Table::empty(input.schema().clone());
+    for row in input.rows() {
+        if eval::eval(pred, input, row)?.passes() {
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// `NN(attr)`.
+pub fn not_null(attr: &Attr, input: &Table) -> Result<Table> {
+    let col = input.col(attr)?;
+    let mut out = Table::empty(input.schema().clone());
+    for row in input.rows() {
+        if !row[col].is_null() {
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Function application: compute `f(inputs)` per row and lay the output
+/// columns out exactly as the core's schema derivation does — input order
+/// minus projected-out inputs, generated attribute appended (or replaced in
+/// place when the output overwrites an input name).
+pub fn function(f: &FunctionApp, input: &Table, ctx: &ExecCtx<'_>) -> Result<Table> {
+    let out_schema = etlopt_core::semantics::UnaryOp::Function(f.clone())
+        .output(input.schema())
+        .map_err(crate::error::EngineError::Core)?;
+    let arg_cols: Vec<usize> = f
+        .inputs
+        .iter()
+        .map(|a| input.col(a))
+        .collect::<Result<_>>()?;
+    // Column plan: for each output attr, either copy an input column or
+    // take the computed value.
+    enum Src {
+        Input(usize),
+        Computed,
+    }
+    let plan: Vec<Src> = out_schema
+        .iter()
+        .map(|a| {
+            if *a == f.output {
+                Ok(Src::Computed)
+            } else {
+                input.col(a).map(Src::Input)
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out = Table::empty(out_schema);
+    let mut args: Vec<Scalar> = Vec::with_capacity(arg_cols.len());
+    for row in input.rows() {
+        args.clear();
+        args.extend(arg_cols.iter().map(|&i| row[i].clone()));
+        let computed = ctx.functions.call(&f.function, &args)?;
+        let new_row = plan
+            .iter()
+            .map(|s| match s {
+                Src::Input(i) => row[*i].clone(),
+                Src::Computed => computed.clone(),
+            })
+            .collect();
+        out.push(new_row)?;
+    }
+    Ok(out)
+}
+
+/// `π-out(attrs)`.
+pub fn project_out(attrs: &[Attr], input: &Table) -> Result<Table> {
+    let keep: Vec<usize> = input
+        .schema()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !attrs.contains(a))
+        .map(|(i, _)| i)
+        .collect();
+    let schema = input
+        .schema()
+        .iter()
+        .filter(|a| !attrs.contains(a))
+        .cloned()
+        .collect();
+    let mut out = Table::empty(schema);
+    for row in input.rows() {
+        out.push(keep.iter().map(|&i| row[i].clone()).collect())?;
+    }
+    Ok(out)
+}
+
+/// `ADD(attr = value)`.
+pub fn add_field(attr: &Attr, value: &Scalar, input: &Table) -> Result<Table> {
+    let mut schema = input.schema().clone();
+    schema.push(attr.clone());
+    let mut out = Table::empty(schema);
+    for row in input.rows() {
+        let mut r = row.clone();
+        r.push(value.clone());
+        out.push(r)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::functions::FunctionRegistry;
+    use etlopt_core::schema::Schema;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::of(["k", "dc"]),
+            vec![
+                vec![1.into(), 100.0.into()],
+                vec![2.into(), Scalar::Null],
+                vec![3.into(), 50.0.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_true_rows_only() {
+        let out = filter(&Predicate::gt("dc", 60.0), &sample()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Scalar::Int(1));
+    }
+
+    #[test]
+    fn not_null_drops_nulls() {
+        let out = not_null(&Attr::new("dc"), &sample()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn function_replaces_input_column() {
+        let funcs = FunctionRegistry::builtin();
+        let cat = Catalog::new();
+        let ctx = ExecCtx {
+            functions: &funcs,
+            catalog: &cat,
+            auto_lookup: true,
+        };
+        let f = FunctionApp {
+            function: "dollar2euro".into(),
+            inputs: vec![Attr::new("dc")],
+            output: Attr::new("ec"),
+            keep_inputs: false,
+            injective: true,
+        };
+        let out = function(&f, &sample(), &ctx).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k", "ec"]));
+        assert_eq!(out.rows()[0][1], Scalar::Float(92.0));
+        assert_eq!(out.rows()[1][1], Scalar::Null);
+    }
+
+    #[test]
+    fn in_place_function_keeps_layout() {
+        let funcs = FunctionRegistry::builtin();
+        let cat = Catalog::new();
+        let ctx = ExecCtx {
+            functions: &funcs,
+            catalog: &cat,
+            auto_lookup: true,
+        };
+        let f = FunctionApp {
+            function: "scale".into(),
+            inputs: vec![Attr::new("dc")],
+            output: Attr::new("dc"),
+            keep_inputs: false,
+            injective: true,
+        };
+        let out = function(&f, &sample(), &ctx).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k", "dc"]));
+        let v = out.rows()[2][1].as_f64().unwrap();
+        assert!((v - 55.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn project_out_drops_columns() {
+        let out = project_out(&[Attr::new("dc")], &sample()).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k"]));
+        assert_eq!(out.rows()[1], vec![Scalar::Int(2)]);
+    }
+
+    #[test]
+    fn add_field_appends_constant() {
+        let out = add_field(&Attr::new("src"), &Scalar::from("S1"), &sample()).unwrap();
+        assert_eq!(out.schema(), &Schema::of(["k", "dc", "src"]));
+        assert!(out.rows().iter().all(|r| r[2] == Scalar::from("S1")));
+    }
+}

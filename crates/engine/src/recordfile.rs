@@ -1,0 +1,300 @@
+//! Record files: the paper's second recordset kind (§2.1 — "relational
+//! tables and record files").
+//!
+//! A record file is a delimited text file with a header row. Values are
+//! parsed into the tightest matching [`Scalar`]: empty field → NULL,
+//! integer, float, `true`/`false`, `d:<days>` → date, anything else →
+//! string. Writing round-trips: `write → read` reproduces the table
+//! exactly (strings that *look* like numbers are quoted on write).
+
+use std::fmt::Write as _;
+
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::Schema;
+
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+
+/// The field delimiter.
+pub const DELIMITER: char = '|';
+
+/// Render a table as delimited text with a header row.
+pub fn write_str(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = table.schema().iter().map(|a| a.name()).collect();
+    let _ = writeln!(out, "{}", header.join("|"));
+    for row in table.rows() {
+        let fields: Vec<String> = row.iter().map(render_field).collect();
+        let _ = writeln!(out, "{}", fields.join("|"));
+    }
+    out
+}
+
+fn render_field(v: &Scalar) -> String {
+    match v {
+        Scalar::Null => String::new(),
+        Scalar::Int(i) => i.to_string(),
+        Scalar::Float(f) => {
+            // Keep a decimal point so the value re-parses as a float.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Scalar::Bool(b) => b.to_string(),
+        Scalar::Date(d) => format!("d:{d}"),
+        Scalar::Str(s) => {
+            // Quote strings that would otherwise re-parse as another type
+            // or that contain the delimiter.
+            if s.is_empty()
+                || s.contains(DELIMITER)
+                || s.contains('"')
+                || parse_unquoted(s) != Scalar::Str(s.clone())
+            {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+    }
+}
+
+fn parse_unquoted(field: &str) -> Scalar {
+    if field.is_empty() {
+        return Scalar::Null;
+    }
+    if field == "true" {
+        return Scalar::Bool(true);
+    }
+    if field == "false" {
+        return Scalar::Bool(false);
+    }
+    if let Some(days) = field.strip_prefix("d:") {
+        if let Ok(d) = days.parse::<i32>() {
+            return Scalar::Date(d);
+        }
+    }
+    if let Ok(i) = field.parse::<i64>() {
+        return Scalar::Int(i);
+    }
+    if let Ok(f) = field.parse::<f64>() {
+        return Scalar::Float(f);
+    }
+    Scalar::Str(field.to_owned())
+}
+
+/// Split one line on the delimiter, honoring double-quoted fields.
+fn split_line(line: &str) -> Result<Vec<Scalar>> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            s.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(EngineError::FunctionFailed {
+                            function: "recordfile::read".into(),
+                            reason: format!("unterminated quote in line `{line}`"),
+                        })
+                    }
+                }
+            }
+            fields.push(Scalar::Str(s));
+            match chars.next() {
+                Some(DELIMITER) => continue,
+                None => break,
+                Some(c) => {
+                    return Err(EngineError::FunctionFailed {
+                        function: "recordfile::read".into(),
+                        reason: format!("unexpected `{c}` after closing quote"),
+                    })
+                }
+            }
+        } else {
+            let mut raw = String::new();
+            let mut ended = false;
+            for c in chars.by_ref() {
+                if c == DELIMITER {
+                    ended = true;
+                    break;
+                }
+                raw.push(c);
+            }
+            fields.push(parse_unquoted(&raw));
+            if !ended {
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse delimited text (with header) into a table.
+pub fn read_str(text: &str) -> Result<Table> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| EngineError::FunctionFailed {
+        function: "recordfile::read".into(),
+        reason: "empty record file".into(),
+    })?;
+    let attrs: Vec<&str> = header.split(DELIMITER).collect();
+    let schema = Schema::of(attrs);
+    let mut table = Table::empty(schema);
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let row = split_line(line)?;
+        table.push(row).map_err(|e| EngineError::FunctionFailed {
+            function: "recordfile::read".into(),
+            reason: format!("line {}: {e}", lineno + 2),
+        })?;
+    }
+    Ok(table)
+}
+
+/// Write a table to a record file on disk.
+pub fn write_file(table: &Table, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, write_str(table)).map_err(|e| EngineError::FunctionFailed {
+        function: "recordfile::write".into(),
+        reason: e.to_string(),
+    })
+}
+
+/// Read a record file from disk.
+pub fn read_file(path: &std::path::Path) -> Result<Table> {
+    let text = std::fs::read_to_string(path).map_err(|e| EngineError::FunctionFailed {
+        function: "recordfile::read".into(),
+        reason: e.to_string(),
+    })?;
+    read_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::of(["id", "name", "cost", "day", "flag"]),
+            vec![
+                vec![
+                    Scalar::Int(1),
+                    Scalar::Str("widget".into()),
+                    Scalar::Float(9.5),
+                    Scalar::Date(120),
+                    Scalar::Bool(true),
+                ],
+                vec![
+                    Scalar::Int(2),
+                    Scalar::Null,
+                    Scalar::Float(100.0),
+                    Scalar::Date(-3),
+                    Scalar::Bool(false),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let text = write_str(&t);
+        let back = read_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn tricky_strings_roundtrip() {
+        let t = Table::from_rows(
+            Schema::of(["s"]),
+            vec![
+                vec![Scalar::Str("123".into())],            // looks like an int
+                vec![Scalar::Str("1.5".into())],            // looks like a float
+                vec![Scalar::Str("true".into())],           // looks like a bool
+                vec![Scalar::Str("a|b".into())],            // contains delimiter
+                vec![Scalar::Str("he said \"hi\"".into())], // contains quotes
+                vec![Scalar::Str(String::new())],           // empty string ≠ NULL
+                vec![Scalar::Str("d:99".into())],           // looks like a date
+            ],
+        )
+        .unwrap();
+        let back = read_str(&write_str(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn null_vs_empty_string() {
+        let t = Table::from_rows(
+            Schema::of(["a", "b"]),
+            vec![vec![Scalar::Null, Scalar::Str(String::new())]],
+        )
+        .unwrap();
+        let text = write_str(&t);
+        let back = read_str(&text).unwrap();
+        assert_eq!(back.rows()[0][0], Scalar::Null);
+        assert_eq!(back.rows()[0][1], Scalar::Str(String::new()));
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let t = Table::from_rows(Schema::of(["x"]), vec![vec![Scalar::Float(100.0)]]).unwrap();
+        let back = read_str(&write_str(&t)).unwrap();
+        assert_eq!(back.rows()[0][0], Scalar::Float(100.0));
+    }
+
+    #[test]
+    fn malformed_input_is_reported() {
+        assert!(read_str("").is_err());
+        // Wrong arity.
+        assert!(read_str("a|b\n1\n").is_err());
+        // Unterminated quote.
+        assert!(read_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("etlopt_recordfile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("parts.rec");
+        let t = sample();
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn executor_consumes_file_loaded_tables() {
+        use crate::catalog::Catalog;
+        use crate::executor::Executor;
+        use etlopt_core::predicate::Predicate;
+        use etlopt_core::semantics::UnaryOp;
+        use etlopt_core::workflow::WorkflowBuilder;
+
+        let text = "id|cost\n1|10.0\n2|\n3|99.5\n";
+        let table = read_str(text).unwrap();
+        let mut b = WorkflowBuilder::new();
+        let s = b.source_file("extract.rec", Schema::of(["id", "cost"]), 3.0);
+        let nn = b.unary("NN", UnaryOp::not_null("cost"), s);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("cost", 50.0)), nn);
+        b.target("T", Schema::of(["id", "cost"]), f);
+        let wf = b.build().unwrap();
+        let mut catalog = Catalog::new();
+        catalog.insert("extract.rec", table);
+        let out = Executor::new(catalog).run(&wf).unwrap();
+        assert_eq!(out.target("T").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Rows and tables: the bag-of-tuples data model.
+
+use std::cmp::Ordering;
+
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::{Attr, Schema};
+
+use crate::error::{EngineError, Result};
+
+/// A row: one scalar per schema attribute, in schema order.
+pub type Row = Vec<Scalar>;
+
+/// Total order over rows built from [`Scalar::total_cmp`]; used for
+/// canonical sorting and multiset comparison.
+pub fn row_cmp(a: &Row, b: &Row) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// A bag of rows under a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn empty(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from rows, checking arity.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        for r in &rows {
+            if r.len() != schema.len() {
+                return Err(EngineError::RowArity {
+                    context: "Table::from_rows".into(),
+                    expected: schema.len(),
+                    actual: r.len(),
+                });
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row (arity-checked).
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::RowArity {
+                context: "Table::push".into(),
+                expected: self.schema.len(),
+                actual: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Column index of an attribute.
+    pub fn col(&self, attr: &Attr) -> Result<usize> {
+        self.schema
+            .index_of(attr)
+            .ok_or_else(|| EngineError::MissingAttribute {
+                attr: attr.name().to_owned(),
+                context: format!("table schema {}", self.schema),
+            })
+    }
+
+    /// The value of `attr` in `row`.
+    pub fn value<'r>(&self, row: &'r Row, attr: &Attr) -> Result<&'r Scalar> {
+        Ok(&row[self.col(attr)?])
+    }
+
+    /// Re-order columns into `target` schema order (same attribute set).
+    pub fn reordered(&self, target: &Schema) -> Result<Table> {
+        if &self.schema == target {
+            return Ok(self.clone());
+        }
+        let mut idx = Vec::with_capacity(target.len());
+        for a in target.iter() {
+            idx.push(self.col(a)?);
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Table {
+            schema: target.clone(),
+            rows,
+        })
+    }
+
+    /// Canonically sorted copy (for display and comparison).
+    pub fn sorted(&self) -> Table {
+        let mut t = self.clone();
+        t.rows.sort_by(row_cmp);
+        t
+    }
+
+    /// Multiset equality: same attribute set, same bag of rows (column
+    /// order normalized, row order ignored).
+    pub fn same_bag(&self, other: &Table) -> Result<bool> {
+        if !self.schema.same_attrs(other.schema()) {
+            return Ok(false);
+        }
+        let other = other.reordered(&self.schema)?;
+        if self.len() != other.len() {
+            return Ok(false);
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows;
+        a.sort_by(row_cmp);
+        b.sort_by(row_cmp);
+        Ok(a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| row_cmp(x, y) == Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: Vec<Row>) -> Table {
+        Table::from_rows(Schema::of(["a", "b"]), rows).unwrap()
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        assert!(Table::from_rows(Schema::of(["a", "b"]), vec![vec![1.into()]]).is_err());
+        let mut ok = Table::empty(Schema::of(["a"]));
+        assert!(ok.push(vec![1.into(), 2.into()]).is_err());
+        assert!(ok.push(vec![1.into()]).is_ok());
+    }
+
+    #[test]
+    fn value_access() {
+        let table = t(vec![vec![1.into(), "x".into()]]);
+        let row = &table.rows()[0];
+        assert_eq!(
+            table.value(row, &Attr::new("b")).unwrap(),
+            &Scalar::from("x")
+        );
+        assert!(table.value(row, &Attr::new("zzz")).is_err());
+    }
+
+    #[test]
+    fn reorder_columns() {
+        let table = t(vec![vec![1.into(), "x".into()]]);
+        let r = table.reordered(&Schema::of(["b", "a"])).unwrap();
+        assert_eq!(r.rows()[0], vec![Scalar::from("x"), Scalar::from(1)]);
+    }
+
+    #[test]
+    fn same_bag_ignores_row_and_column_order() {
+        let t1 = t(vec![vec![1.into(), "x".into()], vec![2.into(), "y".into()]]);
+        let t2 = Table::from_rows(
+            Schema::of(["b", "a"]),
+            vec![vec!["y".into(), 2.into()], vec!["x".into(), 1.into()]],
+        )
+        .unwrap();
+        assert!(t1.same_bag(&t2).unwrap());
+    }
+
+    #[test]
+    fn same_bag_respects_multiplicity() {
+        let t1 = t(vec![vec![1.into(), "x".into()], vec![1.into(), "x".into()]]);
+        let t2 = t(vec![vec![1.into(), "x".into()]]);
+        assert!(!t1.same_bag(&t2).unwrap());
+    }
+
+    #[test]
+    fn same_bag_differs_on_different_schemas() {
+        let t1 = t(vec![]);
+        let t2 = Table::empty(Schema::of(["a", "c"]));
+        assert!(!t1.same_bag(&t2).unwrap());
+    }
+
+    #[test]
+    fn row_cmp_totality_with_nulls_and_nan() {
+        let r1: Row = vec![Scalar::Null, Scalar::Float(f64::NAN)];
+        let r2: Row = vec![Scalar::Null, Scalar::Float(f64::NAN)];
+        assert_eq!(row_cmp(&r1, &r2), Ordering::Equal);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests over the physical operators: the algebraic laws the
+//! optimizer's transitions rely on must hold on arbitrary data.
+
+use etlopt_core::predicate::Predicate;
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::{Attr, Schema};
+use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
+use etlopt_engine::ops::{exec_binary, exec_unary, ExecCtx};
+use etlopt_engine::{Catalog, FunctionRegistry, Table};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        3 => (0i64..20).prop_map(Scalar::Int),
+        1 => Just(Scalar::Null),
+    ]
+}
+
+fn table_kv() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((value(), value()), 0..24).prop_map(|rows| {
+        Table::from_rows(
+            Schema::of(["k", "v"]),
+            rows.into_iter().map(|(k, v)| vec![k, v]).collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn with_ctx<R>(f: impl FnOnce(&ExecCtx<'_>) -> R) -> R {
+    let functions = FunctionRegistry::builtin();
+    let catalog = Catalog::new();
+    let ctx = ExecCtx {
+        functions: &functions,
+        catalog: &catalog,
+        auto_lookup: true,
+    };
+    f(&ctx)
+}
+
+proptest! {
+    /// σ distributes over bag union: σ(A ∪ B) = σ(A) ∪ σ(B).
+    #[test]
+    fn filter_distributes_over_union(a in table_kv(), b in table_kv()) {
+        with_ctx(|ctx| {
+            let sel = UnaryOp::filter(Predicate::gt("v", 7));
+            let joint = exec_unary(&sel, &exec_binary(&BinaryOp::Union, &a, &b).unwrap(), ctx).unwrap();
+            let split = exec_binary(
+                &BinaryOp::Union,
+                &exec_unary(&sel, &a, ctx).unwrap(),
+                &exec_unary(&sel, &b, ctx).unwrap(),
+            )
+            .unwrap();
+            prop_assert!(joint.same_bag(&split).unwrap());
+            Ok(())
+        })?;
+    }
+
+    /// σ distributes over bag difference and intersection.
+    #[test]
+    fn filter_distributes_over_difference_and_intersection(a in table_kv(), b in table_kv()) {
+        with_ctx(|ctx| {
+            let sel = UnaryOp::filter(Predicate::le("v", 10));
+            for op in [BinaryOp::Difference, BinaryOp::Intersection] {
+                let joint = exec_unary(&sel, &exec_binary(&op, &a, &b).unwrap(), ctx).unwrap();
+                let split = exec_binary(
+                    &op,
+                    &exec_unary(&sel, &a, ctx).unwrap(),
+                    &exec_unary(&sel, &b, ctx).unwrap(),
+                )
+                .unwrap();
+                prop_assert!(joint.same_bag(&split).unwrap(), "{op:?}");
+            }
+            Ok(())
+        })?;
+    }
+
+    /// An injective per-row map distributes over difference, a collapsing
+    /// one does not necessarily — the rule behind `distributable_through`.
+    #[test]
+    fn injective_function_distributes_over_difference(a in table_kv(), b in table_kv()) {
+        with_ctx(|ctx| {
+            let f = UnaryOp::function("negate", ["v"], "nv");
+            let joint = exec_unary(&f, &exec_binary(&BinaryOp::Difference, &a, &b).unwrap(), ctx).unwrap();
+            let split = exec_binary(
+                &BinaryOp::Difference,
+                &exec_unary(&f, &a, ctx).unwrap(),
+                &exec_unary(&f, &b, ctx).unwrap(),
+            )
+            .unwrap();
+            prop_assert!(joint.same_bag(&split).unwrap());
+            Ok(())
+        })?;
+    }
+
+    /// σ commutes with whole-row dedup.
+    #[test]
+    fn filter_commutes_with_dedup(a in table_kv()) {
+        with_ctx(|ctx| {
+            let sel = UnaryOp::filter(Predicate::gt("v", 5));
+            let dd = UnaryOp::Dedup { selectivity: 1.0 };
+            let fd = exec_unary(&dd, &exec_unary(&sel, &a, ctx).unwrap(), ctx).unwrap();
+            let df = exec_unary(&sel, &exec_unary(&dd, &a, ctx).unwrap(), ctx).unwrap();
+            prop_assert!(fd.same_bag(&df).unwrap());
+            Ok(())
+        })?;
+    }
+
+    /// A key-constrained σ commutes with the keep-first PK check (the
+    /// commute.rs rule); the engine's keep-first semantics make this exact.
+    #[test]
+    fn key_filter_commutes_with_pk_check(a in table_kv()) {
+        with_ctx(|ctx| {
+            let sel = UnaryOp::filter(Predicate::gt("k", 9));
+            let pk = UnaryOp::PkCheck { key: vec![Attr::new("k")], selectivity: 1.0 };
+            let fp = exec_unary(&pk, &exec_unary(&sel, &a, ctx).unwrap(), ctx).unwrap();
+            let pf = exec_unary(&sel, &exec_unary(&pk, &a, ctx).unwrap(), ctx).unwrap();
+            prop_assert!(fp.same_bag(&pf).unwrap());
+            Ok(())
+        })?;
+    }
+
+    /// A grouper-only filter commutes with aggregation.
+    #[test]
+    fn grouper_filter_commutes_with_aggregation(a in table_kv()) {
+        with_ctx(|ctx| {
+            let sel = UnaryOp::filter(Predicate::le("k", 12));
+            let agg = UnaryOp::aggregate(Aggregation::sum(["k"], "v", "total"));
+            let fa = exec_unary(&agg, &exec_unary(&sel, &a, ctx).unwrap(), ctx).unwrap();
+            let af = exec_unary(&sel, &exec_unary(&agg, &a, ctx).unwrap(), ctx).unwrap();
+            prop_assert!(fa.same_bag(&af).unwrap());
+            Ok(())
+        })?;
+    }
+
+    /// Union cardinality is additive; difference plus intersection
+    /// partition the left bag.
+    #[test]
+    fn bag_cardinality_laws(a in table_kv(), b in table_kv()) {
+        let u = exec_binary(&BinaryOp::Union, &a, &b).unwrap();
+        prop_assert_eq!(u.len(), a.len() + b.len());
+        let d = exec_binary(&BinaryOp::Difference, &a, &b).unwrap();
+        let i = exec_binary(&BinaryOp::Intersection, &a, &b).unwrap();
+        prop_assert_eq!(d.len() + i.len(), a.len());
+        // A − B and A ∩ B rebuild A.
+        let rebuilt = exec_binary(&BinaryOp::Union, &d, &i).unwrap();
+        prop_assert!(rebuilt.same_bag(&a).unwrap());
+    }
+
+    /// Record-file round trip on arbitrary tables.
+    #[test]
+    fn recordfile_roundtrips(a in table_kv()) {
+        let text = etlopt_engine::recordfile::write_str(&a);
+        let back = etlopt_engine::recordfile::read_str(&text).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// same_bag is an equivalence relation on tables of one schema.
+    #[test]
+    fn same_bag_is_reflexive_and_symmetric(a in table_kv(), b in table_kv()) {
+        prop_assert!(a.same_bag(&a).unwrap());
+        prop_assert_eq!(a.same_bag(&b).unwrap(), b.same_bag(&a).unwrap());
+    }
+}

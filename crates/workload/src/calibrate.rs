@@ -1,0 +1,166 @@
+//! Selectivity calibration: run a workflow over real data, observe each
+//! activity's actual pass rate, and feed it back into the workflow's
+//! estimates before (re-)optimizing.
+//!
+//! The paper's optimizer is only as good as its "assigned selectivities"
+//! (§4.2); this is the statistics-refresh loop a production deployment
+//! would run between loads.
+
+use etlopt_core::activity::Op;
+use etlopt_core::semantics::UnaryOp;
+use etlopt_core::workflow::Workflow;
+use etlopt_engine::{Executor, Result};
+
+/// Floor for calibrated selectivities: an activity that passed zero rows on
+/// this sample still gets a tiny positive estimate (zero would make every
+/// downstream plan collapse to cost 0).
+pub const MIN_SELECTIVITY: f64 = 1e-4;
+
+/// Execute `wf` on the executor's catalog and return a copy whose
+/// cardinality-changing unary activities carry their *observed*
+/// selectivities.
+pub fn calibrate(wf: &Workflow, exec: &Executor) -> Result<Workflow> {
+    let result = exec.run(wf)?;
+    let mut out = wf.clone();
+    for node in wf.activities().map_err(etlopt_engine::EngineError::Core)? {
+        let act = wf
+            .graph()
+            .activity(node)
+            .map_err(etlopt_engine::EngineError::Core)?;
+        let adjustable = matches!(
+            act.op,
+            Op::Unary(
+                UnaryOp::Filter { .. }
+                    | UnaryOp::NotNull { .. }
+                    | UnaryOp::PkCheck { .. }
+                    | UnaryOp::Dedup { .. }
+                    | UnaryOp::Aggregate { .. }
+            )
+        );
+        if !adjustable {
+            continue;
+        }
+        if let Some(observed) = result.stats.observed_selectivity(&act.id.to_string()) {
+            out = out
+                .with_selectivity(node, observed.clamp(MIN_SELECTIVITY, 1.0))
+                .map_err(etlopt_engine::EngineError::Core)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_core::cost::RowCountModel;
+    use etlopt_core::opt::{HeuristicSearch, Optimizer};
+    use etlopt_core::predicate::Predicate;
+    use etlopt_core::scalar::Scalar;
+    use etlopt_core::schema::Schema;
+    use etlopt_core::semantics::UnaryOp;
+    use etlopt_core::workflow::WorkflowBuilder;
+    use etlopt_engine::{Catalog, Table};
+
+    /// Two filters with *inverted* estimates: σa claims 0.1 but passes 90 %
+    /// of rows; σb claims 0.9 but passes 10 %.
+    fn misestimated() -> (Workflow, Executor) {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["v"]), 1000.0);
+        let fa = b.unary(
+            "σa",
+            UnaryOp::filter(Predicate::ge("v", 10)).with_selectivity(0.1),
+            s,
+        );
+        let fb = b.unary(
+            "σb",
+            UnaryOp::filter(Predicate::ge("v", 90)).with_selectivity(0.9),
+            fa,
+        );
+        b.target("T", Schema::of(["v"]), fb);
+        let wf = b.build().unwrap();
+
+        let mut cat = Catalog::new();
+        let rows: Vec<Vec<Scalar>> = (0..100i64).map(|i| vec![i.into()]).collect();
+        cat.insert("S", Table::from_rows(Schema::of(["v"]), rows).unwrap());
+        (wf, Executor::new(cat))
+    }
+
+    fn selectivity_of(wf: &Workflow, label: &str) -> f64 {
+        let node = wf
+            .activities()
+            .unwrap()
+            .into_iter()
+            .find(|&a| wf.graph().activity(a).unwrap().label == label)
+            .unwrap();
+        wf.graph().activity(node).unwrap().selectivity()
+    }
+
+    #[test]
+    fn calibration_replaces_estimates_with_observations() {
+        let (wf, exec) = misestimated();
+        let calibrated = calibrate(&wf, &exec).unwrap();
+        assert!((selectivity_of(&calibrated, "σa") - 0.9).abs() < 1e-9);
+        // σb sees only rows ≥ 10 (90 of them), passes 10 → 1/9.
+        assert!((selectivity_of(&calibrated, "σb") - 10.0 / 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_flips_the_optimizers_ordering() {
+        let (wf, exec) = misestimated();
+        let model = RowCountModel::default();
+        // With the bogus estimates HS keeps σa first…
+        let before = HeuristicSearch::new().run(&wf, &model).unwrap();
+        let first = before.best.activities().unwrap()[0];
+        assert_eq!(before.best.graph().activity(first).unwrap().label, "σa");
+        // …after calibration, the truly selective σb moves to the front.
+        let calibrated = calibrate(&wf, &exec).unwrap();
+        let after = HeuristicSearch::new().run(&calibrated, &model).unwrap();
+        let first = after.best.activities().unwrap()[0];
+        assert_eq!(after.best.graph().activity(first).unwrap().label, "σb");
+    }
+
+    #[test]
+    fn zero_pass_rate_clamps_to_floor() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["v"]), 10.0);
+        let f = b.unary(
+            "σ-none",
+            UnaryOp::filter(Predicate::gt("v", 1_000_000)).with_selectivity(0.5),
+            s,
+        );
+        b.target("T", Schema::of(["v"]), f);
+        let wf = b.build().unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(
+            "S",
+            Table::from_rows(Schema::of(["v"]), vec![vec![1.into()], vec![2.into()]]).unwrap(),
+        );
+        let calibrated = calibrate(&wf, &Executor::new(cat)).unwrap();
+        assert!((selectivity_of(&calibrated, "σ-none") - MIN_SELECTIVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_to_one_activities_are_untouched() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 10.0);
+        let f = b.unary("f", UnaryOp::function("scale", ["v"], "v2"), s);
+        b.target("T", Schema::of(["k", "v2"]), f);
+        let wf = b.build().unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(
+            "S",
+            Table::from_rows(Schema::of(["k", "v"]), vec![vec![1.into(), 2.0.into()]]).unwrap(),
+        );
+        let calibrated = calibrate(&wf, &Executor::new(cat)).unwrap();
+        assert!((selectivity_of(&calibrated, "f") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrated_workflow_stays_equivalent() {
+        let (wf, exec) = misestimated();
+        let calibrated = calibrate(&wf, &exec).unwrap();
+        // Selectivities are metadata, not semantics.
+        assert!(etlopt_core::postcond::equivalent(&wf, &calibrated).unwrap());
+        assert!(etlopt_engine::equivalent_execution(&exec, &wf, &calibrated).unwrap());
+    }
+}

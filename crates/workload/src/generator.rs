@@ -1,0 +1,409 @@
+//! The random workflow generator behind the paper's evaluation.
+//!
+//! "As test cases, we have used 40 different ETL workflows categorized as
+//! small, medium, and large, involving a range of 15 to 70 activities"
+//! (§4.2). The original 40 scenarios were never published; this generator
+//! reproduces their *statistics*: seeded, deterministic workflows in the
+//! same three size bands, built from the paper's template vocabulary
+//! (filters, not-null checks, function applications, aggregations,
+//! surrogate keys, unions), with deliberate optimization opportunities —
+//! homologous activities on sibling branches (Factorize bait), selective
+//! filters far from the sources (Swap/Distribute bait).
+
+use std::fmt;
+
+use etlopt_core::graph::NodeId;
+use etlopt_core::predicate::Predicate;
+use etlopt_core::schema::Schema;
+use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
+use etlopt_core::workflow::{Workflow, WorkflowBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's three workflow size bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeCategory {
+    /// ≈ 15–25 activities (paper average: 20).
+    Small,
+    /// ≈ 35–45 activities (paper average: 40).
+    Medium,
+    /// ≈ 60–70 activities (paper average: 70).
+    Large,
+}
+
+impl SizeCategory {
+    /// Inclusive activity-count band.
+    pub fn activity_range(self) -> (usize, usize) {
+        match self {
+            SizeCategory::Small => (15, 25),
+            SizeCategory::Medium => (35, 45),
+            SizeCategory::Large => (60, 70),
+        }
+    }
+
+    /// Number of converging source branches.
+    pub fn branches(self) -> usize {
+        match self {
+            SizeCategory::Small => 2,
+            SizeCategory::Medium => 3,
+            SizeCategory::Large => 4,
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeCategory::Small => "small",
+            SizeCategory::Medium => "medium",
+            SizeCategory::Large => "large",
+        }
+    }
+
+    /// All bands, in table order.
+    pub fn all() -> [SizeCategory; 3] {
+        [
+            SizeCategory::Small,
+            SizeCategory::Medium,
+            SizeCategory::Large,
+        ]
+    }
+}
+
+impl fmt::Display for SizeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// RNG seed — equal seeds give equal workflows.
+    pub seed: u64,
+    /// Size band.
+    pub category: SizeCategory,
+}
+
+/// One generated test case.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name, e.g. `"medium-03"`.
+    pub name: String,
+    /// Size band.
+    pub category: SizeCategory,
+    /// Seed it was generated from.
+    pub seed: u64,
+    /// The workflow.
+    pub workflow: Workflow,
+}
+
+/// The branch-level attribute vocabulary all generated sources share.
+fn branch_schema() -> Schema {
+    Schema::of(["pkey", "date", "cost", "qty", "grade"])
+}
+
+/// Seeded workflow generator.
+#[derive(Debug)]
+pub struct Generator {
+    rng: StdRng,
+}
+
+impl Generator {
+    /// Generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate one scenario.
+    pub fn generate(config: GeneratorConfig) -> Scenario {
+        let mut gen = Generator::new(config.seed);
+        let workflow = gen.build(config.category);
+        Scenario {
+            name: format!("{}-{:04x}", config.category.label(), config.seed & 0xffff),
+            category: config.category,
+            seed: config.seed,
+            workflow,
+        }
+    }
+
+    /// The paper's 40-scenario suite: 15 small, 15 medium, 10 large,
+    /// derived deterministically from a base seed.
+    pub fn paper_suite(base_seed: u64) -> Vec<Scenario> {
+        Self::suite(base_seed, 15, 15, 10)
+    }
+
+    /// A suite with custom per-band counts (benches use a trimmed one).
+    pub fn suite(base_seed: u64, small: usize, medium: usize, large: usize) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(small + medium + large);
+        for (count, category) in [
+            (small, SizeCategory::Small),
+            (medium, SizeCategory::Medium),
+            (large, SizeCategory::Large),
+        ] {
+            for i in 0..count {
+                out.push(Self::generate(GeneratorConfig {
+                    seed: base_seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add((i as u64) << 8)
+                        .wrapping_add(category.branches() as u64),
+                    category,
+                }));
+            }
+        }
+        out
+    }
+
+    /// A random schema-preserving row-wise operation over the branch
+    /// vocabulary. `grade_ok` is false once the branch trap has renamed
+    /// `grade` away — segments downstream of it must not reference it.
+    fn row_wise_op(&mut self, grade_ok: bool) -> UnaryOp {
+        let upper = if grade_ok { 7 } else { 6 };
+        match self.rng.gen_range(0..upper) {
+            0 => UnaryOp::not_null("cost").with_selectivity(self.rng.gen_range(0.9..0.99)),
+            1 => UnaryOp::not_null("qty").with_selectivity(self.rng.gen_range(0.9..0.99)),
+            2 => UnaryOp::filter(Predicate::gt("cost", self.rng.gen_range(1.0..100.0)))
+                .with_selectivity(self.rng.gen_range(0.2..0.9)),
+            3 => UnaryOp::filter(Predicate::gt("qty", self.rng.gen_range(1.0..10.0)))
+                .with_selectivity(self.rng.gen_range(0.2..0.9)),
+            // In-place functions must be entity-preserving format
+            // conversions (the naming principle, §3.1): the engine runs
+            // both as value-identities, so every legal swap across them is
+            // exactly equivalence-preserving.
+            4 => UnaryOp::function("normalize", ["cost"], "cost"),
+            5 => UnaryOp::function("am2eu", ["date"], "date"),
+            6 => UnaryOp::filter(Predicate::le("grade", self.rng.gen_range(1.0..5.0)))
+                .with_selectivity(self.rng.gen_range(0.3..0.95)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// A greedy trap (the paper's Fig. 5 structure): a renaming injective
+    /// function guarding a selective filter, preceded by a cost-neutral
+    /// format conversion. The filter cannot cross the function (swap
+    /// condition 3), and moving the function toward the sources is
+    /// cost-neutral — so a strictly-improving hill climb stalls on the
+    /// plateau while a full swap exploration walks through it.
+    /// `depth` controls the plateau width (number of cost-neutral ops in
+    /// front of the guard); wider plateaus hurt a strictly-improving climb
+    /// more — the paper's greedy gets "unstable" on large workflows.
+    fn trap(&mut self, attr: &'static str, renamed: &'static str, depth: usize) -> Vec<UnaryOp> {
+        let mut ops = Vec::with_capacity(depth + 2);
+        for i in 0..depth {
+            ops.push(if i % 2 == 0 {
+                UnaryOp::function("normalize", ["cost"], "cost")
+            } else {
+                UnaryOp::function("am2eu", ["date"], "date")
+            });
+        }
+        ops.push(UnaryOp::function("scale", [attr], renamed));
+        ops.push(
+            UnaryOp::filter(Predicate::gt(renamed, self.rng.gen_range(100.0..900.0)))
+                .with_selectivity(self.rng.gen_range(0.15..0.5)),
+        );
+        ops
+    }
+
+    fn build(&mut self, category: SizeCategory) -> Workflow {
+        let (lo, hi) = category.activity_range();
+        let target_activities = self.rng.gen_range(lo..=hi);
+        let k = category.branches();
+        let unions = k - 1;
+        // Greedy traps (see `trap`): one per branch (renaming `grade`),
+        // applied to *every* branch so the union's schemata stay equal, and
+        // one on the joint flow (renaming `qty`).
+        let branch_trap = self.rng.gen_bool(0.8);
+        let joint_trap = self.rng.gen_bool(0.8);
+        // Plateau width scales with workflow size.
+        let trap_depth = match category {
+            SizeCategory::Small => 1,
+            SizeCategory::Medium => 2,
+            SizeCategory::Large => 3,
+        };
+        let trap_len = trap_depth + 2;
+        // Joint tail: a couple of row-wise ops, the joint trap, an
+        // aggregation, a surrogate key and a final business-rule selection.
+        let joint_rowwise = self.rng.gen_range(1..=3);
+        let joint_len = joint_rowwise + 3 + if joint_trap { trap_len } else { 0 };
+        let mid_total = unions.saturating_sub(1); // one op between chained unions
+        let trap_per_branch = if branch_trap { trap_len } else { 0 };
+        let branch_budget = target_activities
+            .saturating_sub(unions + joint_len + mid_total + k * trap_per_branch)
+            .max(k);
+        let base = branch_budget / k;
+        let mut lens = vec![base; k];
+        for len in lens.iter_mut().take(branch_budget % k) {
+            *len += 1;
+        }
+
+        let mut b = WorkflowBuilder::new();
+        let schema = branch_schema();
+
+        // Branch chains; the trap sits at the far end of each chain so its
+        // filter has the longest profitable journey toward the source.
+        let mut heads: Vec<NodeId> = Vec::with_capacity(k);
+        for (bi, &len) in lens.iter().enumerate() {
+            let rows = self.rng.gen_range(1_000.0..20_000.0_f64).round();
+            let src = b.source(&format!("SRC{}", bi + 1), schema.clone(), rows);
+            let mut cur = src;
+            for oi in 0..len {
+                let op = self.row_wise_op(true);
+                cur = b.unary(&format!("b{}-{}", bi + 1, oi + 1), op, cur);
+            }
+            if branch_trap {
+                let ops = self.trap("grade", "grade_idx", trap_depth);
+                for (ti, op) in ops.into_iter().enumerate() {
+                    cur = b.unary(&format!("b{}-t{}", bi + 1, ti + 1), op, cur);
+                }
+            }
+            heads.push(cur);
+        }
+
+        // Homologous bait: with high probability, append the *same*
+        // operation to the first two sibling branches.
+        if self.rng.gen_bool(0.8) && k >= 2 {
+            let op = self.row_wise_op(!branch_trap);
+            heads[0] = b.unary("hom-1", op.clone(), heads[0]);
+            heads[1] = b.unary("hom-2", op, heads[1]);
+        }
+
+        // Left-deep union tree with optional mid ops.
+        let mut flow = heads[0];
+        for (ui, &head) in heads.iter().enumerate().skip(1) {
+            flow = b.binary(&format!("U{ui}"), BinaryOp::Union, flow, head);
+            if ui < k - 1 {
+                let op = self.row_wise_op(!branch_trap);
+                flow = b.unary(&format!("mid-{ui}"), op, flow);
+            }
+        }
+
+        // Joint tail: pool ops, then the joint trap (if any), then the
+        // aggregation / surrogate key / load filter.
+        for oi in 0..joint_rowwise {
+            let op = self.row_wise_op(!branch_trap);
+            flow = b.unary(&format!("joint-{}", oi + 1), op, flow);
+        }
+        if joint_trap {
+            let ops = self.trap("qty", "qty_idx", trap_depth);
+            for (ti, op) in ops.into_iter().enumerate() {
+                flow = b.unary(&format!("joint-t{}", ti + 1), op, flow);
+            }
+        }
+        let agg_sel = self.rng.gen_range(0.05..0.3);
+        flow = b.unary(
+            "γ",
+            UnaryOp::aggregate(Aggregation::sum(["pkey", "date"], "cost", "cost"))
+                .with_selectivity(agg_sel),
+            flow,
+        );
+        flow = b.unary(
+            "SK",
+            UnaryOp::surrogate_key("pkey", "pkey_sk", "DIM_PARTS"),
+            flow,
+        );
+        flow = b.unary(
+            "σ-load",
+            UnaryOp::filter(Predicate::gt("cost", self.rng.gen_range(50.0..500.0)))
+                .with_selectivity(self.rng.gen_range(0.1..0.7)),
+            flow,
+        );
+        b.target("DW", Schema::empty(), flow);
+        b.build().expect("generated workflow must be valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_workflows_are_valid_and_sized() {
+        for category in SizeCategory::all() {
+            for seed in 0..5 {
+                let s = Generator::generate(GeneratorConfig { seed, category });
+                s.workflow.validate().unwrap();
+                let n = s.workflow.activity_count();
+                let (lo, hi) = category.activity_range();
+                assert!(
+                    n >= lo.saturating_sub(2) && n <= hi,
+                    "{category} seed {seed}: {n} activities not in [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GeneratorConfig {
+            seed: 99,
+            category: SizeCategory::Medium,
+        };
+        let a = Generator::generate(c);
+        let b = Generator::generate(c);
+        assert_eq!(a.workflow.signature(), b.workflow.signature());
+        assert_eq!(a.workflow, b.workflow);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::generate(GeneratorConfig {
+            seed: 1,
+            category: SizeCategory::Small,
+        });
+        let b = Generator::generate(GeneratorConfig {
+            seed: 2,
+            category: SizeCategory::Small,
+        });
+        assert_ne!(a.workflow, b.workflow);
+    }
+
+    #[test]
+    fn paper_suite_has_40_scenarios() {
+        let suite = Generator::paper_suite(2005);
+        assert_eq!(suite.len(), 40);
+        let smalls = suite
+            .iter()
+            .filter(|s| s.category == SizeCategory::Small)
+            .count();
+        let mediums = suite
+            .iter()
+            .filter(|s| s.category == SizeCategory::Medium)
+            .count();
+        let larges = suite
+            .iter()
+            .filter(|s| s.category == SizeCategory::Large)
+            .count();
+        assert_eq!((smalls, mediums, larges), (15, 15, 10));
+    }
+
+    #[test]
+    fn scenarios_offer_optimization_opportunities() {
+        // Most scenarios should expose at least one homologous pair or
+        // distributable activity (the generator plants them).
+        let suite = Generator::suite(7, 5, 5, 5);
+        let with_opportunities = suite
+            .iter()
+            .filter(|s| {
+                let h = s.workflow.homologous_pairs().map(|v| v.len()).unwrap_or(0);
+                let d = s
+                    .workflow
+                    .distributable_activities()
+                    .map(|v| v.len())
+                    .unwrap_or(0);
+                h + d > 0
+            })
+            .count();
+        assert!(with_opportunities >= 12, "{with_opportunities}/15");
+    }
+
+    #[test]
+    fn large_has_more_branches_than_small() {
+        assert!(SizeCategory::Large.branches() > SizeCategory::Small.branches());
+        let s = Generator::generate(GeneratorConfig {
+            seed: 3,
+            category: SizeCategory::Large,
+        });
+        assert_eq!(s.workflow.sources().len(), 4);
+    }
+}

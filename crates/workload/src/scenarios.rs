@@ -1,0 +1,382 @@
+//! Hand-built scenarios, headlined by the paper's running example.
+
+use etlopt_core::naming::NamingRegistry;
+use etlopt_core::predicate::Predicate;
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::Schema;
+use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
+use etlopt_core::workflow::{Workflow, WorkflowBuilder};
+use etlopt_engine::{Catalog, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's Fig. 1 workflow.
+///
+/// `PARTS1(pkey,source,date,cost€)` holds monthly European data;
+/// `PARTS2(pkey,source,date,dept,cost$)` holds daily American data. The
+/// flow: a not-null check on branch 1; `$2€`, `A2E` and a monthly
+/// aggregation (dropping `DEPT`) on branch 2; a union; a final selection on
+/// the Euro cost; load into `DW(pkey,source,date,€cost)`.
+///
+/// Attribute names below are *reference* names per the naming principle
+/// (§3.1): both `DATE` formats share `date`; the two `COST` homonyms are
+/// split into `euro_cost` / `dollar_cost`.
+pub fn fig1() -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    // Node 1: PARTS1, monthly, Euros.
+    let parts1 = b.source(
+        "PARTS1",
+        Schema::of(["pkey", "source", "date", "euro_cost"]),
+        300.0,
+    );
+    // Node 2: PARTS2, daily, Dollars (≈30× the rows of a monthly source).
+    let parts2 = b.source(
+        "PARTS2",
+        Schema::of(["pkey", "source", "date", "dept", "dollar_cost"]),
+        9000.0,
+    );
+    // Node 3: NN(euro_cost) on branch 1.
+    let nn = b.unary(
+        "NN",
+        UnaryOp::not_null("euro_cost").with_selectivity(0.95),
+        parts1,
+    );
+    // Node 4: $2€ on branch 2.
+    let d2e = b.unary(
+        "$2E",
+        UnaryOp::function("dollar2euro", ["dollar_cost"], "euro_cost"),
+        parts2,
+    );
+    // Node 5: A2E date-format conversion (same reference name).
+    let a2e = b.unary("A2E", UnaryOp::function("am2eu", ["date"], "date"), d2e);
+    // Node 6: γ-SUM monthly aggregation; DEPT is discarded by the
+    // aggregation's schema (≈1/30 of daily rows survive).
+    let agg = b.unary(
+        "γ-SUM",
+        UnaryOp::aggregate(Aggregation::sum(
+            ["pkey", "source", "date"],
+            "euro_cost",
+            "euro_cost",
+        ))
+        .with_selectivity(1.0 / 30.0),
+        a2e,
+    );
+    // Node 7: U.
+    let u = b.binary("U", BinaryOp::Union, nn, agg);
+    // Node 8: σ(euro_cost ≥ 100): only costs above the threshold load.
+    let sel = b.unary(
+        "σ(€)",
+        UnaryOp::filter(Predicate::ge("euro_cost", 100.0)).with_selectivity(0.4),
+        u,
+    );
+    // Node 9: DW.
+    b.target(
+        "DW",
+        Schema::of(["pkey", "source", "date", "euro_cost"]),
+        sel,
+    );
+    b.build().expect("Fig. 1 workflow is valid")
+}
+
+/// The naming-principle bookkeeping behind [`fig1`] (§3.1): how the
+/// physical attributes of the two sources map onto the reference names the
+/// workflow uses.
+pub fn fig1_naming() -> NamingRegistry {
+    let mut reg = NamingRegistry::new();
+    let pkey = reg.declare("pkey", "part production key").unwrap();
+    let source = reg.declare("source", "source system id").unwrap();
+    let date = reg.declare("date", "supply date (grouper)").unwrap();
+    let eur = reg.declare("euro_cost", "part cost in Euros").unwrap();
+    let usd = reg.declare("dollar_cost", "part cost in Dollars").unwrap();
+    let dept = reg.declare("dept", "department").unwrap();
+    for rs in ["PARTS1", "PARTS2"] {
+        reg.map(rs, "PKEY", &pkey).unwrap();
+        reg.map(rs, "SOURCE", &source).unwrap();
+        // American and European dates are the same grouper entity…
+        reg.map(rs, "DATE", &date).unwrap();
+    }
+    // …while the COST homonyms denote different entities.
+    reg.map("PARTS1", "COST", &eur).unwrap();
+    reg.map("PARTS2", "COST", &usd).unwrap();
+    reg.map("PARTS2", "DEPT", &dept).unwrap();
+    reg
+}
+
+/// Seeded data for [`fig1`]: monthly Euro rows for `PARTS1` (with a few
+/// NULL costs for the `NN` check to catch) and daily Dollar rows for
+/// `PARTS2`.
+pub fn fig1_catalog(seed: u64, parts1_rows: usize, parts2_rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+
+    let mut t1 = Table::empty(Schema::of(["pkey", "source", "date", "euro_cost"]));
+    for _ in 0..parts1_rows {
+        let cost = if rng.gen_bool(0.05) {
+            Scalar::Null
+        } else {
+            Scalar::Float((rng.gen_range(10.0..500.0_f64) * 100.0).round() / 100.0)
+        };
+        t1.push(vec![
+            Scalar::Int(rng.gen_range(1..200)),
+            Scalar::Int(1),
+            // Monthly grain: day index snapped to the first of the month.
+            Scalar::Date(rng.gen_range(0..24) * 30),
+            cost,
+        ])
+        .unwrap();
+    }
+    catalog.insert("PARTS1", t1);
+
+    let mut t2 = Table::empty(Schema::of([
+        "pkey",
+        "source",
+        "date",
+        "dept",
+        "dollar_cost",
+    ]));
+    for _ in 0..parts2_rows {
+        t2.push(vec![
+            Scalar::Int(rng.gen_range(1..200)),
+            Scalar::Int(2),
+            // Daily grain, later snapped to months by the aggregation's
+            // grouping on the (monthly) reference date.
+            Scalar::Date(rng.gen_range(0..24) * 30),
+            Scalar::Str(["toys", "tools", "food"][rng.gen_range(0..3)].to_owned()),
+            Scalar::Float((rng.gen_range(10.0..600.0_f64) * 100.0).round() / 100.0),
+        ])
+        .unwrap();
+    }
+    catalog.insert("PARTS2", t2);
+    catalog
+}
+
+/// A second hand-built scenario: click-stream consolidation. Two web logs
+/// are cleansed (not-null, bot filtering), session keys get surrogates, and
+/// a daily aggregate loads the warehouse. Exercises SK + FAC opportunities
+/// (the two branch filters are homologous).
+pub fn clickstream() -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let log1 = b.source(
+        "LOG1",
+        Schema::of(["session", "date", "clicks", "is_bot"]),
+        50_000.0,
+    );
+    let log2 = b.source(
+        "LOG2",
+        Schema::of(["session", "date", "clicks", "is_bot"]),
+        30_000.0,
+    );
+    let f1 = b.unary(
+        "σ-bot-1",
+        UnaryOp::filter(Predicate::eq("is_bot", 0)).with_selectivity(0.7),
+        log1,
+    );
+    let f2 = b.unary(
+        "σ-bot-2",
+        UnaryOp::filter(Predicate::eq("is_bot", 0)).with_selectivity(0.7),
+        log2,
+    );
+    let nn1 = b.unary(
+        "NN-1",
+        UnaryOp::not_null("clicks").with_selectivity(0.98),
+        f1,
+    );
+    let nn2 = b.unary(
+        "NN-2",
+        UnaryOp::not_null("clicks").with_selectivity(0.98),
+        f2,
+    );
+    let u = b.binary("U", BinaryOp::Union, nn1, nn2);
+    let drop_bot = b.unary("π-out", UnaryOp::project_out(["is_bot"]), u);
+    let sk = b.unary(
+        "SK",
+        UnaryOp::surrogate_key("session", "session_sk", "SESSIONS"),
+        drop_bot,
+    );
+    let agg = b.unary(
+        "γ-daily",
+        UnaryOp::aggregate(Aggregation::sum(["session_sk", "date"], "clicks", "clicks"))
+            .with_selectivity(0.2),
+        sk,
+    );
+    b.target(
+        "DW_CLICKS",
+        Schema::of(["session_sk", "date", "clicks"]),
+        agg,
+    );
+    b.build().expect("clickstream workflow is valid")
+}
+
+/// Data for [`clickstream`].
+pub fn clickstream_catalog(seed: u64, rows_per_log: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    for name in ["LOG1", "LOG2"] {
+        let mut t = Table::empty(Schema::of(["session", "date", "clicks", "is_bot"]));
+        for _ in 0..rows_per_log {
+            t.push(vec![
+                Scalar::Int(rng.gen_range(1..500)),
+                Scalar::Date(rng.gen_range(0..30)),
+                if rng.gen_bool(0.02) {
+                    Scalar::Null
+                } else {
+                    Scalar::Int(rng.gen_range(1..50))
+                },
+                Scalar::Int(i64::from(rng.gen_bool(0.3))),
+            ])
+            .unwrap();
+        }
+        catalog.insert(name, t);
+    }
+    catalog
+}
+
+/// A third scenario: financial reconciliation via bag difference. Today's
+/// ledger minus yesterday's snapshot yields the delta rows to load,
+/// guarded by a currency normalization and a validity filter.
+pub fn reconciliation() -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let today = b.source("LEDGER_TODAY", Schema::of(["acct", "dollar_amt"]), 20_000.0);
+    let yesterday = b.source("LEDGER_YDAY", Schema::of(["acct", "dollar_amt"]), 19_000.0);
+    let n1 = b.unary(
+        "$2E-1",
+        UnaryOp::function("dollar2euro", ["dollar_amt"], "euro_amt"),
+        today,
+    );
+    let n2 = b.unary(
+        "$2E-2",
+        UnaryOp::function("dollar2euro", ["dollar_amt"], "euro_amt"),
+        yesterday,
+    );
+    let diff = b.binary("Δ", BinaryOp::Difference, n1, n2);
+    let sel = b.unary(
+        "σ-valid",
+        UnaryOp::filter(Predicate::gt("euro_amt", 0.0)).with_selectivity(0.9),
+        diff,
+    );
+    b.target("DW_DELTA", Schema::of(["acct", "euro_amt"]), sel);
+    b.build().expect("reconciliation workflow is valid")
+}
+
+/// Data for [`reconciliation`]: yesterday's ledger is a subset of today's
+/// plus noise, so the difference is small and meaningful.
+pub fn reconciliation_catalog(seed: u64, rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    let mut today = Table::empty(Schema::of(["acct", "dollar_amt"]));
+    let mut yday = Table::empty(Schema::of(["acct", "dollar_amt"]));
+    for i in 0..rows {
+        let acct = Scalar::Int(i as i64);
+        let amt = Scalar::Float((rng.gen_range(-100.0..1000.0_f64) * 100.0).round() / 100.0);
+        today.push(vec![acct.clone(), amt.clone()]).unwrap();
+        if rng.gen_bool(0.9) {
+            yday.push(vec![acct, amt]).unwrap();
+        }
+    }
+    catalog.insert("LEDGER_TODAY", today);
+    catalog.insert("LEDGER_YDAY", yday);
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_core::cost::RowCountModel;
+    use etlopt_core::opt::{HeuristicSearch, Optimizer};
+    use etlopt_engine::Executor;
+
+    #[test]
+    fn fig1_signature_matches_paper() {
+        let wf = fig1();
+        assert_eq!(
+            wf.signature().to_string(),
+            "((1.3)//(2.4.5.6)).7.8.9",
+            "the paper's own example signature (§4.1)"
+        );
+    }
+
+    #[test]
+    fn fig1_has_the_paper_local_groups() {
+        // "the local groups of the state are {3}, {4,5,6} and {8}".
+        let wf = fig1();
+        let groups = wf.local_groups().unwrap();
+        let tokens: Vec<Vec<String>> = groups
+            .iter()
+            .map(|g| g.iter().map(|&n| wf.priority_token(n)).collect())
+            .collect();
+        assert_eq!(
+            tokens,
+            vec![
+                vec!["3".to_owned()],
+                vec!["4".into(), "5".into(), "6".into()],
+                vec!["8".into()]
+            ]
+        );
+    }
+
+    #[test]
+    fn fig1_executes_end_to_end() {
+        let wf = fig1();
+        let catalog = fig1_catalog(42, 300, 9000);
+        let result = Executor::new(catalog).run(&wf).unwrap();
+        let dw = result.target("DW").unwrap();
+        assert!(!dw.is_empty());
+        assert!(dw
+            .schema()
+            .same_attrs(&Schema::of(["pkey", "source", "date", "euro_cost"])));
+        // Only costs ≥ 100 load.
+        let cost_col = dw.col(&"euro_cost".into()).unwrap();
+        assert!(dw
+            .rows()
+            .iter()
+            .all(|r| r[cost_col].as_f64().unwrap() >= 100.0));
+    }
+
+    #[test]
+    fn fig1_naming_registry_is_consistent() {
+        let reg = fig1_naming();
+        assert_eq!(reg.resolve("PARTS1", "COST").unwrap().name(), "euro_cost");
+        assert_eq!(reg.resolve("PARTS2", "COST").unwrap().name(), "dollar_cost");
+        assert_eq!(reg.resolve("PARTS1", "DATE"), reg.resolve("PARTS2", "DATE"));
+    }
+
+    #[test]
+    fn fig1_optimized_is_cheaper_and_equivalent_on_data() {
+        let wf = fig1();
+        let model = RowCountModel::default();
+        let out = HeuristicSearch::new().run(&wf, &model).unwrap();
+        assert!(out.best_cost < out.initial_cost);
+        let exec = Executor::new(fig1_catalog(7, 200, 4000));
+        etlopt_engine::assert_equivalent_execution(&exec, &wf, &out.best);
+    }
+
+    #[test]
+    fn clickstream_executes_and_optimizes() {
+        let wf = clickstream();
+        let exec = Executor::new(clickstream_catalog(1, 2000));
+        let model = RowCountModel::default();
+        let out = HeuristicSearch::new().run(&wf, &model).unwrap();
+        assert!(out.best_cost <= out.initial_cost);
+        etlopt_engine::assert_equivalent_execution(&exec, &wf, &out.best);
+    }
+
+    #[test]
+    fn reconciliation_executes_and_optimizes() {
+        let wf = reconciliation();
+        let exec = Executor::new(reconciliation_catalog(3, 500));
+        let model = RowCountModel::default();
+        let out = HeuristicSearch::new().run(&wf, &model).unwrap();
+        assert!(out.best_cost <= out.initial_cost);
+        etlopt_engine::assert_equivalent_execution(&exec, &wf, &out.best);
+    }
+
+    #[test]
+    fn fig1_catalog_is_seed_deterministic() {
+        let a = fig1_catalog(5, 50, 100);
+        let b = fig1_catalog(5, 50, 100);
+        assert_eq!(a.table("PARTS1"), b.table("PARTS1"));
+        assert_eq!(a.table("PARTS2"), b.table("PARTS2"));
+        let c = fig1_catalog(6, 50, 100);
+        assert_ne!(a.table("PARTS1"), c.table("PARTS1"));
+    }
+}

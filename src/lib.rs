@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # etlopt
+//!
+//! Logical optimization of ETL workflows, reproducing *Simitsis,
+//! Vassiliadis, Sellis — "Optimizing ETL Processes in Data Warehouses",
+//! ICDE 2005*.
+//!
+//! This facade crate re-exports the three layers:
+//!
+//! * [`core`] (`etlopt-core`) — the workflow model, the five
+//!   equivalence-preserving transitions (Swap, Factorize, Distribute,
+//!   Merge, Split), cost models and the three search algorithms (ES, HS,
+//!   HS-Greedy);
+//! * [`engine`] (`etlopt-engine`) — an in-memory executor that runs any
+//!   workflow state over real tuples, used to verify equivalence
+//!   empirically;
+//! * [`workload`] (`etlopt-workload`) — the paper's running example
+//!   (Fig. 1) and the seeded generator behind the evaluation's 40
+//!   scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use etlopt::prelude::*;
+//!
+//! // The paper's running example (Fig. 1)…
+//! let workflow = etlopt::workload::scenarios::fig1();
+//!
+//! // …optimized by Heuristic Search under the row-count cost model.
+//! let model = RowCountModel::default();
+//! let outcome = HeuristicSearch::new().run(&workflow, &model).unwrap();
+//! assert!(outcome.best_cost < outcome.initial_cost);
+//! ```
+
+pub use etlopt_core as core;
+pub use etlopt_engine as engine;
+pub use etlopt_workload as workload;
+
+/// One-stop imports: the core prelude plus the engine's executor types.
+pub mod prelude {
+    pub use etlopt_core::prelude::*;
+    pub use etlopt_engine::{Catalog, ExecResult, Executor, Table};
+}

@@ -1,0 +1,116 @@
+//! Property tests: every reachable state is equivalent to its origin —
+//! formally (post-condition calculus, Theorem 2) and empirically (the
+//! engine loads identical warehouse contents).
+
+use etlopt::core::opt::{enumerate_moves, Move};
+use etlopt::core::postcond::equivalent;
+use etlopt::prelude::*;
+use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
+use proptest::prelude::*;
+
+/// Walk a pseudo-random path through the state space, returning the final
+/// state and how many transitions were applied.
+fn random_walk(wf: &Workflow, picks: &[u8]) -> (Workflow, usize) {
+    let mut cur = wf.clone();
+    let mut applied = 0;
+    for &p in picks {
+        let moves = enumerate_moves(&cur).unwrap();
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[p as usize % moves.len()];
+        if let Ok(next) = mv.apply(&cur) {
+            cur = next;
+            applied += 1;
+        }
+    }
+    (cur, applied)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Theorem 2, executable: any chain of applicable transitions produces
+    /// a state with the same post-condition and target schemata.
+    #[test]
+    fn random_walks_preserve_formal_equivalence(
+        seed in 0u64..500,
+        picks in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+        let (end, applied) = random_walk(&s.workflow, &picks);
+        prop_assert!(equivalent(&s.workflow, &end).unwrap());
+        if applied > 0 {
+            prop_assert!(end.validate().is_ok());
+        }
+    }
+
+    /// The engine agrees: the walked-to state loads identical warehouse
+    /// contents on real rows.
+    #[test]
+    fn random_walks_preserve_empirical_equivalence(
+        seed in 0u64..200,
+        picks in proptest::collection::vec(any::<u8>(), 1..5),
+    ) {
+        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+        let (end, _) = random_walk(&s.workflow, &picks);
+        let catalog = datagen::catalog_for(&s.workflow, 120, seed ^ 0xabcd);
+        let exec = Executor::new(catalog);
+        prop_assert!(etlopt::engine::equivalent_execution(&exec, &s.workflow, &end).unwrap());
+    }
+
+    /// A move and its inverse cancel: DIS then FAC of the clones restores
+    /// the signature (and vice versa where applicable).
+    #[test]
+    fn distribute_factorize_inverts(seed in 0u64..300) {
+        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+        let wf = &s.workflow;
+        for mv in enumerate_moves(wf).unwrap() {
+            if let Move::Distribute(d) = mv {
+                let Ok(dis) = d.apply(wf) else { continue };
+                let p1 = dis.graph().provider(d.binary, 0).unwrap().unwrap();
+                let p2 = dis.graph().provider(d.binary, 1).unwrap().unwrap();
+                let fac = etlopt::core::transition::Factorize::new(d.binary, p1, p2);
+                use etlopt::core::transition::Transition;
+                let back = fac.apply(&dis).unwrap();
+                prop_assert_eq!(wf.signature(), back.signature());
+            }
+        }
+    }
+
+    /// Signatures identify states: two different walks that end in the same
+    /// signature are the same workflow graph up to slot numbering — their
+    /// costs agree under any model.
+    #[test]
+    fn equal_signatures_mean_equal_costs(
+        seed in 0u64..200,
+        picks_a in proptest::collection::vec(any::<u8>(), 1..5),
+        picks_b in proptest::collection::vec(any::<u8>(), 1..5),
+    ) {
+        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+        let (a, _) = random_walk(&s.workflow, &picks_a);
+        let (b, _) = random_walk(&s.workflow, &picks_b);
+        if a.signature() == b.signature() {
+            let model = RowCountModel::default();
+            prop_assert!((model.cost(&a).unwrap() - model.cost(&b).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    /// The optimizers only ever return equivalent states, and never a more
+    /// expensive one than the input.
+    #[test]
+    fn optimizers_return_equivalent_never_worse_states(seed in 0u64..120) {
+        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+        let model = RowCountModel::default();
+        let budget = etlopt::core::opt::SearchBudget::states(3_000);
+        for optimizer in [
+            Box::new(HeuristicSearch::with_budget(budget)) as Box<dyn Optimizer>,
+            Box::new(HsGreedy::with_budget(budget)),
+            Box::new(ExhaustiveSearch::with_budget(budget)),
+        ] {
+            let out = optimizer.run(&s.workflow, &model).unwrap();
+            prop_assert!(out.best_cost <= out.initial_cost + 1e-9);
+            prop_assert!(equivalent(&s.workflow, &out.best).unwrap());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Suite-level validation: every band of the generated evaluation suite
+//! optimizes to an equivalent state, verified formally and on data.
+
+use etlopt::core::opt::SearchBudget;
+use etlopt::core::postcond::equivalent;
+use etlopt::prelude::*;
+use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
+
+fn check_scenario(category: SizeCategory, seed: u64, rows: usize) {
+    let s = Generator::generate(GeneratorConfig { seed, category });
+    let model = RowCountModel::default();
+    let budget = SearchBudget::states(6_000);
+
+    let hs = HeuristicSearch::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    let hg = HsGreedy::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    assert!(
+        hs.best_cost <= hg.best_cost + 1e-6,
+        "{}: HS worse than greedy",
+        s.name
+    );
+    assert!(equivalent(&s.workflow, &hs.best).unwrap(), "{}", s.name);
+    assert!(equivalent(&s.workflow, &hg.best).unwrap(), "{}", s.name);
+
+    let catalog = datagen::catalog_for(&s.workflow, rows, seed ^ 0x5eed);
+    let exec = Executor::new(catalog);
+    assert!(
+        etlopt::engine::equivalent_execution(&exec, &s.workflow, &hs.best).unwrap(),
+        "{}: HS state diverges on data",
+        s.name
+    );
+    assert!(
+        etlopt::engine::equivalent_execution(&exec, &s.workflow, &hg.best).unwrap(),
+        "{}: greedy state diverges on data",
+        s.name
+    );
+}
+
+#[test]
+fn small_band_validates_on_data() {
+    for seed in [11, 12, 13] {
+        check_scenario(SizeCategory::Small, seed, 300);
+    }
+}
+
+#[test]
+fn medium_band_validates_on_data() {
+    for seed in [21, 22] {
+        check_scenario(SizeCategory::Medium, seed, 200);
+    }
+}
+
+#[test]
+fn large_band_validates_on_data() {
+    check_scenario(SizeCategory::Large, 31, 120);
+}
+
+#[test]
+fn text_format_roundtrips_generated_scenarios() {
+    use etlopt::core::text;
+    for category in SizeCategory::all() {
+        let s = Generator::generate(GeneratorConfig { seed: 7, category });
+        let rendered = text::render(&s.workflow).unwrap();
+        let back = text::parse(&rendered).unwrap();
+        assert_eq!(s.workflow.signature(), back.signature(), "{}", s.name);
+        assert!(equivalent(&s.workflow, &back).unwrap());
+    }
+}
+
+#[test]
+fn calibration_then_optimization_stays_equivalent_on_generated_data() {
+    let s = Generator::generate(GeneratorConfig {
+        seed: 77,
+        category: SizeCategory::Small,
+    });
+    let catalog = datagen::catalog_for(&s.workflow, 400, 99);
+    let exec = Executor::new(catalog);
+    let calibrated = etlopt::workload::calibrate(&s.workflow, &exec).unwrap();
+    let model = RowCountModel::default();
+    let out = HeuristicSearch::with_budget(SearchBudget::states(5_000))
+        .run(&calibrated, &model)
+        .unwrap();
+    assert!(etlopt::engine::equivalent_execution(&exec, &s.workflow, &out.best).unwrap());
+}
+
+#[test]
+fn impact_analysis_runs_on_every_band() {
+    use etlopt::core::impact::{analyze, Change};
+    for category in SizeCategory::all() {
+        let s = Generator::generate(GeneratorConfig { seed: 41, category });
+        let src = s.workflow.sources()[0];
+        let report = analyze(
+            &s.workflow,
+            &Change::DropAttribute {
+                source: src,
+                attr: "cost".into(),
+            },
+        )
+        .unwrap();
+        // `cost` feeds the final aggregation and load filter everywhere.
+        assert!(!report.affected_targets.is_empty(), "{}", s.name);
+        assert!(!report.broken_activities.is_empty(), "{}", s.name);
+    }
+}
+
+#[test]
+fn physical_planner_handles_every_band() {
+    use etlopt::core::physical::{plan, PhysicalConfig};
+    for category in SizeCategory::all() {
+        let s = Generator::generate(GeneratorConfig { seed: 55, category });
+        for memory_rows in [10.0, 100_000.0] {
+            let p = plan(
+                &s.workflow,
+                &PhysicalConfig {
+                    memory_rows,
+                    lookup_rows: 10_000.0,
+                },
+            )
+            .unwrap();
+            assert!(p.total_cost > 0.0);
+            assert_eq!(p.choices.len(), s.workflow.activity_count(), "{}", s.name);
+        }
+    }
+}
