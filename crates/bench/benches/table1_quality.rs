@@ -25,6 +25,7 @@ fn bench_quality(c: &mut Criterion) {
         let budget = SearchBudget {
             max_states: 5_000,
             max_time: Duration::from_secs(2),
+            ..SearchBudget::default()
         };
 
         group.bench_with_input(BenchmarkId::new("ES", category.label()), wf, |b, wf| {

@@ -22,10 +22,12 @@ fn bench_algorithms(c: &mut Criterion) {
         let es_budget = SearchBudget {
             max_states: 5_000,
             max_time: Duration::from_secs(2),
+            ..SearchBudget::default()
         };
         let hs_budget = SearchBudget {
             max_states: 10_000,
             max_time: Duration::from_secs(4),
+            ..SearchBudget::default()
         };
 
         group.bench_with_input(BenchmarkId::new("ES", category.label()), wf, |b, wf| {

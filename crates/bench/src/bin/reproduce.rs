@@ -48,11 +48,13 @@ impl Config {
             SearchBudget {
                 max_states: 500_000,
                 max_time: Duration::from_secs(120),
+                ..SearchBudget::default()
             }
         } else {
             SearchBudget {
                 max_states: 60_000,
                 max_time: Duration::from_secs(8),
+                ..SearchBudget::default()
             }
         }
     }
@@ -62,11 +64,13 @@ impl Config {
             SearchBudget {
                 max_states: 200_000,
                 max_time: Duration::from_secs(120),
+                ..SearchBudget::default()
             }
         } else {
             SearchBudget {
                 max_states: 50_000,
                 max_time: Duration::from_secs(25),
+                ..SearchBudget::default()
             }
         }
     }

@@ -24,7 +24,11 @@ use crate::workflow::{binary_cardinality, Workflow};
 
 /// A cost model: prices one activity given the rows arriving on each of its
 /// input ports.
-pub trait CostModel {
+///
+/// `Sync` is a supertrait so the search algorithms can price candidate
+/// states from worker threads; models are expected to be stateless (all
+/// in-repo models are plain parameter structs).
+pub trait CostModel: Sync {
     /// Model name (for reports and benches).
     fn name(&self) -> &str;
 

@@ -81,6 +81,114 @@ impl Node {
     }
 }
 
+/// Provider ports, stored inline — every node has at most two input ports
+/// (unary/binary activities, one writer port for recordsets), so a `Copy`
+/// array beats a heap `Vec` in the clone-per-generated-state hot loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ports {
+    len: u8,
+    slots: [Option<NodeId>; 2],
+}
+
+impl Ports {
+    fn new(arity: usize) -> Self {
+        assert!(arity <= 2, "node arity beyond 2 is unsupported");
+        Ports {
+            len: arity as u8,
+            slots: [None, None],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn as_slice(&self) -> &[Option<NodeId>] {
+        &self.slots[..self.len as usize]
+    }
+
+    fn set(&mut self, port: usize, value: Option<NodeId>) {
+        self.slots[..self.len as usize][port] = value;
+    }
+
+    fn take(&mut self, port: usize) -> Option<NodeId> {
+        self.slots[..self.len as usize][port].take()
+    }
+}
+
+/// Consumer list with inline capacity for the common ≤ 2 fan-out; spills to
+/// the heap beyond that. Keeps `Slot::clone` allocation-free for typical
+/// workflow shapes.
+#[derive(Debug, Clone)]
+enum Consumers {
+    Inline(u8, [NodeId; 2]),
+    Heap(Vec<NodeId>),
+}
+
+impl Consumers {
+    /// Placeholder for unused inline cells; never observable through
+    /// `as_slice`.
+    const NONE: NodeId = NodeId(u32::MAX);
+
+    fn new() -> Self {
+        Consumers::Inline(0, [Self::NONE; 2])
+    }
+
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            Consumers::Inline(len, items) => &items[..*len as usize],
+            Consumers::Heap(v) => v,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn push(&mut self, id: NodeId) {
+        match self {
+            Consumers::Inline(len, items) if (*len as usize) < items.len() => {
+                items[*len as usize] = id;
+                *len += 1;
+            }
+            Consumers::Inline(len, items) => {
+                let mut v = Vec::with_capacity(*len as usize + 2);
+                v.extend_from_slice(&items[..*len as usize]);
+                v.push(id);
+                *self = Consumers::Heap(v);
+            }
+            Consumers::Heap(v) => v.push(id),
+        }
+    }
+
+    /// Remove the first occurrence of `id`, if present.
+    fn remove_first(&mut self, id: NodeId) {
+        match self {
+            Consumers::Inline(len, items) => {
+                let n = *len as usize;
+                if let Some(pos) = items[..n].iter().position(|x| *x == id) {
+                    items.copy_within(pos + 1..n, pos);
+                    items[n - 1] = Self::NONE;
+                    *len -= 1;
+                }
+            }
+            Consumers::Heap(v) => {
+                if let Some(pos) = v.iter().position(|x| *x == id) {
+                    v.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Consumers {
+    // Logical equality: a once-spilled list that shrank back equals the
+    // inline list with the same elements.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct Slot {
     /// The node payload, shared copy-on-write across cloned states:
@@ -90,10 +198,10 @@ struct Slot {
     node: std::sync::Arc<Node>,
     /// Provider per input port; `None` = not yet connected (sources keep
     /// their single port empty forever).
-    preds: Vec<Option<NodeId>>,
+    preds: Ports,
     /// Consumers (denormalized; may repeat a node that reads us on both of
     /// its ports).
-    succs: Vec<NodeId>,
+    succs: Consumers,
 }
 
 /// The workflow DAG.
@@ -139,8 +247,8 @@ impl Graph {
         let arity = node.arity();
         let slot = Slot {
             node: std::sync::Arc::new(node),
-            preds: vec![None; arity],
-            succs: Vec::new(),
+            preds: Ports::new(arity),
+            succs: Consumers::new(),
         };
         // Reuse a free slot if any, else append.
         if let Some(idx) = self.slots.iter().position(|s| s.is_none()) {
@@ -182,6 +290,14 @@ impl Graph {
         Ok(std::sync::Arc::make_mut(&mut self.slot_mut(id)?.node))
     }
 
+    /// The shared handle of the node payload. Test hook for the
+    /// structural-sharing contract: after a transition, untouched nodes
+    /// must still be `Arc::ptr_eq` with the originating state.
+    #[cfg(test)]
+    pub(crate) fn node_arc(&self, id: NodeId) -> Result<&std::sync::Arc<Node>> {
+        Ok(&self.slot(id)?.node)
+    }
+
     /// The activity at `id`, or an error if it is a recordset / missing.
     pub fn activity(&self, id: NodeId) -> Result<&Activity> {
         self.node(id)?
@@ -213,10 +329,10 @@ impl Graph {
         if port >= to_slot.preds.len() {
             return Err(CoreError::MissingProvider { node: to, port });
         }
-        if to_slot.preds[port].is_some() {
+        if to_slot.preds.as_slice()[port].is_some() {
             return Err(CoreError::DuplicateProvider { node: to, port });
         }
-        self.slot_mut(to)?.preds[port] = Some(from);
+        self.slot_mut(to)?.preds.set(port, Some(from));
         self.slot_mut(from)?.succs.push(to);
         Ok(())
     }
@@ -228,13 +344,10 @@ impl Graph {
             if port >= slot.preds.len() {
                 return Err(CoreError::MissingProvider { node: to, port });
             }
-            slot.preds[port].take()
+            slot.preds.take(port)
         };
         if let Some(from) = prev {
-            let succs = &mut self.slot_mut(from)?.succs;
-            if let Some(pos) = succs.iter().position(|s| *s == to) {
-                succs.remove(pos);
-            }
+            self.slot_mut(from)?.succs.remove_first(to);
         }
         Ok(prev)
     }
@@ -243,7 +356,7 @@ impl Graph {
     pub fn remove(&mut self, id: NodeId) -> Result<Node> {
         {
             let slot = self.slot(id)?;
-            if slot.preds.iter().any(Option::is_some) || !slot.succs.is_empty() {
+            if slot.preds.as_slice().iter().any(Option::is_some) || !slot.succs.is_empty() {
                 return Err(CoreError::DanglingOutput(id));
             }
         }
@@ -255,6 +368,7 @@ impl Graph {
     pub fn provider(&self, id: NodeId, port: usize) -> Result<Option<NodeId>> {
         let slot = self.slot(id)?;
         slot.preds
+            .as_slice()
             .get(port)
             .copied()
             .ok_or(CoreError::MissingProvider { node: id, port })
@@ -262,19 +376,23 @@ impl Graph {
 
     /// All providers of `id`, one entry per port.
     pub fn providers(&self, id: NodeId) -> Result<Vec<Option<NodeId>>> {
-        Ok(self.slot(id)?.preds.clone())
+        Ok(self.slot(id)?.preds.as_slice().to_vec())
     }
 
     /// All consumers of `id` (one entry per consuming port).
     pub fn consumers(&self, id: NodeId) -> Result<&[NodeId]> {
-        Ok(&self.slot(id)?.succs)
+        Ok(self.slot(id)?.succs.as_slice())
     }
 
     /// Which input port of `consumer` is fed by `provider`? Returns the
     /// first matching port.
     pub fn port_of(&self, provider: NodeId, consumer: NodeId) -> Result<Option<usize>> {
         let slot = self.slot(consumer)?;
-        Ok(slot.preds.iter().position(|p| *p == Some(provider)))
+        Ok(slot
+            .preds
+            .as_slice()
+            .iter()
+            .position(|p| *p == Some(provider)))
     }
 
     /// Iterate over live nodes.
@@ -304,7 +422,7 @@ impl Graph {
         for (i, slot) in self.slots.iter().enumerate() {
             let Some(slot) = slot else { continue };
             live += 1;
-            let d = slot.preds.iter().filter(|p| p.is_some()).count();
+            let d = slot.preds.as_slice().iter().filter(|p| p.is_some()).count();
             indegree[i] = d;
             if d == 0 {
                 ready.push(Reverse(NodeId(i as u32)));
@@ -313,7 +431,7 @@ impl Graph {
         let mut order = Vec::with_capacity(live);
         while let Some(Reverse(next)) = ready.pop() {
             order.push(next);
-            for &succ in &self.slot(next)?.succs {
+            for &succ in self.slot(next)?.succs.as_slice() {
                 // A consumer may read us on two ports: decrement per edge.
                 let d = &mut indegree[succ.0 as usize];
                 *d -= 1;
@@ -338,7 +456,7 @@ impl Graph {
         self.iter()
             .filter(|(id, _)| {
                 self.slot(*id)
-                    .map(|s| s.preds.iter().all(Option::is_none))
+                    .map(|s| s.preds.as_slice().iter().all(Option::is_none))
                     .unwrap_or(false)
             })
             .map(|(id, _)| id)

@@ -64,6 +64,7 @@ pub mod physical;
 pub mod postcond;
 pub mod predicate;
 pub mod recordset;
+pub mod rng;
 pub mod scalar;
 pub mod schema;
 pub mod schema_gen;

@@ -24,10 +24,16 @@ use crate::activity::ActivityId;
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::graph::NodeId;
-use crate::opt::{Optimizer, SearchBudget, SearchOutcome};
-use crate::signature::Signature;
+use crate::opt::{Optimizer, Pacer, SearchBudget, SearchOutcome, Threads};
 use crate::transition::{Distribute, Factorize, Merge, Swap, Transition};
 use crate::workflow::Workflow;
+
+/// One evaluated candidate state, as produced by a worker thread: its
+/// fingerprint, the state itself, and its (possibly failed) model cost.
+/// `None` when the candidate move did not apply. Errors are deferred to the
+/// coordinator so they surface exactly when the sequential code would have
+/// hit them.
+type Eval = Option<(u128, Workflow, Result<f64>)>;
 
 /// The HS algorithm (Fig. 7).
 #[derive(Debug, Clone, Default)]
@@ -110,7 +116,9 @@ struct Runner<'m> {
     budget: SearchBudget,
     greedy: bool,
     started: Instant,
-    seen: HashSet<Signature>,
+    pacer: Pacer,
+    threads: Threads,
+    seen: HashSet<u128>,
     visited_states: usize,
     budget_exhausted: bool,
     /// Per-local-group cap for the best-first swap exploration, sized from
@@ -121,11 +129,14 @@ struct Runner<'m> {
 
 impl<'m> Runner<'m> {
     fn new(model: &'m dyn CostModel, budget: SearchBudget, greedy: bool) -> Self {
+        let started = Instant::now();
         Runner {
             model,
             budget,
             greedy,
-            started: Instant::now(),
+            started,
+            pacer: Pacer::new(started, &budget),
+            threads: Threads::new(budget.threads()),
             seen: HashSet::new(),
             visited_states: 0,
             budget_exhausted: false,
@@ -133,15 +144,25 @@ impl<'m> Runner<'m> {
         }
     }
 
-    fn cost(&mut self, wf: &Workflow) -> Result<f64> {
-        if self.seen.insert(wf.signature()) {
+    /// Account one costed state against the budget: unique states count
+    /// toward `max_states`, and every call ticks the throttled wall-clock
+    /// watchdog.
+    fn record_fp(&mut self, fp: u128) {
+        if self.seen.insert(fp) {
             self.visited_states += 1;
         }
+        if self.pacer.tick() {
+            self.budget_exhausted = true;
+        }
+    }
+
+    fn cost(&mut self, wf: &Workflow) -> Result<f64> {
+        self.record_fp(wf.fingerprint());
         self.model.cost(wf)
     }
 
     fn out_of_budget(&mut self) -> bool {
-        if self.budget.exhausted(self.visited_states, self.started) {
+        if self.visited_states >= self.budget.max_states {
             self.budget_exhausted = true;
         }
         self.budget_exhausted
@@ -180,10 +201,16 @@ impl<'m> Runner<'m> {
             .map(|&(a, ab)| Ok((Anchor::of(&s0, a)?, Anchor::of(&s0, ab)?)))
             .collect::<Result<_>>()?;
 
-        // Phase I (lines 9-13): swaps within each local group.
+        // Phase I (lines 9-13): swaps within each local group. The pacer
+        // throttles clock sampling to every 1024 costed states; phase
+        // boundaries re-sample unconditionally so a slow phase cannot hide
+        // a blown time budget from the next one.
         let mut phase_stats: Vec<crate::opt::PhaseStat> = Vec::new();
         let mut smin = self.phase_swaps(&s0)?;
         let mut smin_cost = self.cost(&smin)?;
+        if self.pacer.check_now() {
+            self.budget_exhausted = true;
+        }
         phase_stats.push(crate::opt::PhaseStat {
             phase: "I swaps",
             best_cost: smin_cost,
@@ -198,38 +225,38 @@ impl<'m> Runner<'m> {
         /// lineage); past this, additional interleavings are redundant.
         const COLLECT_CAP: usize = 192;
         let mut collected: Vec<Workflow> = vec![smin.clone()];
-        let mut produced: HashSet<Signature> = HashSet::new();
-        produced.insert(smin.signature());
+        let mut produced: HashSet<u128> = HashSet::new();
+        produced.insert(smin.fingerprint());
         let mut worklist: Vec<Workflow> = vec![smin.clone()];
         while let Some(si) = worklist.pop() {
             if collected.len() >= COLLECT_CAP {
                 break;
             }
-            for (a1, a2, ab) in &h {
+            // Shift + factorize + price every H candidate on the worker
+            // pool; the merge below consumes the results in enumeration
+            // order, so dedup, budget accounting and the running best are
+            // identical for any thread count.
+            let model = self.model;
+            let evals: Vec<Eval> = self.threads.map(&h, |(a1, a2, ab)| {
+                let n1 = a1.locate(&si)?;
+                let n2 = a2.locate(&si)?;
+                let nb = ab.locate(&si)?;
+                let s = shift_frw(&si, n1, nb)?;
+                let s = shift_frw(&s, n2, nb)?;
+                let snew = Factorize::new(nb, n1, n2).apply(&s).ok()?;
+                let c = model.cost(&snew);
+                Some((snew.fingerprint(), snew, c))
+            });
+            for eval in evals {
                 if self.out_of_budget() {
                     break;
                 }
-                let Some((n1, n2, nb)) = a1
-                    .locate(&si)
-                    .zip(a2.locate(&si))
-                    .zip(ab.locate(&si))
-                    .map(|((x, y), z)| (x, y, z))
-                else {
-                    continue;
-                };
-                let Some(s) = shift_frw(&si, n1, nb) else {
-                    continue;
-                };
-                let Some(s) = shift_frw(&s, n2, nb) else {
-                    continue;
-                };
-                let Ok(snew) = Factorize::new(nb, n1, n2).apply(&s) else {
-                    continue;
-                };
-                if !produced.insert(snew.signature()) {
+                let Some((fp, snew, c)) = eval else { continue };
+                if !produced.insert(fp) {
                     continue;
                 }
-                let c = self.cost(&snew)?;
+                let c = c?;
+                self.record_fp(fp);
                 if c < smin_cost {
                     smin = snew.clone();
                     smin_cost = c;
@@ -240,6 +267,9 @@ impl<'m> Runner<'m> {
             if self.out_of_budget() {
                 break;
             }
+        }
+        if self.pacer.check_now() {
+            self.budget_exhausted = true;
         }
         phase_stats.push(crate::opt::PhaseStat {
             phase: "II factorize",
@@ -256,23 +286,25 @@ impl<'m> Runner<'m> {
             if collected.len() >= COLLECT_CAP {
                 break;
             }
-            for (a, ab) in &d {
+            let model = self.model;
+            let evals: Vec<Eval> = self.threads.map(&d, |(a, ab)| {
+                let na = a.locate(&si)?;
+                let nb = ab.locate(&si)?;
+                let s = shift_bkw(&si, na, nb)?;
+                let snew = Distribute::new(nb, na).apply(&s).ok()?;
+                let c = model.cost(&snew);
+                Some((snew.fingerprint(), snew, c))
+            });
+            for eval in evals {
                 if self.out_of_budget() {
                     break;
                 }
-                let Some((na, nb)) = a.locate(&si).zip(ab.locate(&si)) else {
-                    continue;
-                };
-                let Some(s) = shift_bkw(&si, na, nb) else {
-                    continue;
-                };
-                let Ok(snew) = Distribute::new(nb, na).apply(&s) else {
-                    continue;
-                };
-                if !produced.insert(snew.signature()) {
+                let Some((fp, snew, c)) = eval else { continue };
+                if !produced.insert(fp) {
                     continue;
                 }
-                let c = self.cost(&snew)?;
+                let c = c?;
+                self.record_fp(fp);
                 if c < smin_cost {
                     smin = snew.clone();
                     smin_cost = c;
@@ -283,6 +315,9 @@ impl<'m> Runner<'m> {
             if self.out_of_budget() {
                 break;
             }
+        }
+        if self.pacer.check_now() {
+            self.budget_exhausted = true;
         }
         phase_stats.push(crate::opt::PhaseStat {
             phase: "III distribute",
@@ -295,9 +330,12 @@ impl<'m> Runner<'m> {
         // the most promising ones, so the swap re-optimization budget goes
         // to candidates that can actually beat S_MIN.
         const PHASE4_CAP: usize = 6;
-        let mut ranked: Vec<(f64, &Workflow)> = collected
-            .iter()
-            .map(|s| Ok((self.model.cost(s)?, s)))
+        let model = self.model;
+        let costs: Vec<Result<f64>> = self.threads.map(&collected, |s| model.cost(s));
+        let mut ranked: Vec<(f64, &Workflow)> = costs
+            .into_iter()
+            .zip(&collected)
+            .map(|(c, s)| Ok((c?, s)))
             .collect::<Result<_>>()?;
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (_, si) in ranked.into_iter().take(PHASE4_CAP) {
@@ -312,6 +350,9 @@ impl<'m> Runner<'m> {
             }
         }
 
+        if self.pacer.check_now() {
+            self.budget_exhausted = true;
+        }
         phase_stats.push(crate::opt::PhaseStat {
             phase: "IV swaps",
             best_cost: smin_cost,
@@ -411,9 +452,9 @@ impl<'m> Runner<'m> {
         let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
         heap.push(Reverse(Key(start_cost, 0)));
         heap.push(Reverse(Key(climbed_cost, 1)));
-        let mut seen: HashSet<Signature> = HashSet::new();
-        seen.insert(state.signature());
-        seen.insert(states[1].signature());
+        let mut seen: HashSet<u128> = HashSet::new();
+        seen.insert(state.fingerprint());
+        seen.insert(states[1].fingerprint());
         let mut expanded = 0usize;
         while let Some(Reverse(Key(_, idx))) = heap.pop() {
             if expanded >= cap || self.out_of_budget() {
@@ -421,12 +462,22 @@ impl<'m> Runner<'m> {
             }
             let s = states[idx].clone();
             expanded += 1;
-            for mv in group_swaps(&s, members)? {
-                let Ok(next) = mv.apply(&s) else { continue };
-                if !seen.insert(next.signature()) {
+            // Apply and price this state's group swaps on the worker pool;
+            // dedup and the heap pushes stay in enumeration order.
+            let moves = group_swaps(&s, members)?;
+            let model = self.model;
+            let evals: Vec<Eval> = self.threads.map(&moves, |mv| {
+                let next = mv.apply(&s).ok()?;
+                let c = model.cost(&next);
+                Some((next.fingerprint(), next, c))
+            });
+            for eval in evals {
+                let Some((fp, next, c)) = eval else { continue };
+                if !seen.insert(fp) {
                     continue;
                 }
-                let c = self.cost(&next)?;
+                let c = c?;
+                self.record_fp(fp);
                 if c < best_cost {
                     best_cost = c;
                     best = next.clone();
@@ -452,12 +503,21 @@ impl<'m> Runner<'m> {
             if self.out_of_budget() {
                 break;
             }
+            // Evaluate every candidate swap of this climb step in
+            // parallel; the best-improving pick below scans in enumeration
+            // order, so ties resolve identically for any thread count.
+            let moves = group_swaps(&current, members)?;
+            let model = self.model;
+            let evals: Vec<Eval> = self.threads.map(&moves, |mv| {
+                let next = mv.apply(&current).ok()?;
+                let c = model.cost(&next);
+                Some((next.fingerprint(), next, c))
+            });
             let mut improved: Option<(Workflow, f64)> = None;
-            for mv in group_swaps(&current, members)? {
-                let Ok(next) = mv.apply(&current) else {
-                    continue;
-                };
-                let c = self.cost(&next)?;
+            for eval in evals {
+                let Some((fp, next, c)) = eval else { continue };
+                let c = c?;
+                self.record_fp(fp);
                 if c < current_cost && improved.as_ref().map(|(_, bc)| c < *bc).unwrap_or(true) {
                     improved = Some((next, c));
                 }
@@ -486,20 +546,45 @@ impl<'m> Runner<'m> {
     ) -> Result<Workflow> {
         let mut current = state.clone();
         let mut current_cost = self.cost(&current)?;
-        for mv in group_swaps(&current, members)? {
-            if self.out_of_budget() {
-                break;
+        // The group's pair list is taken up front, as in Fig. 7; a pair
+        // consumed by an earlier swap may no longer be adjacent, in which
+        // case `apply` refuses and the sweep moves on.
+        //
+        // The sweep itself is sequential by definition (each accepted swap
+        // changes the state the next pair is judged against), so the
+        // workers evaluate the remaining pairs *speculatively* against the
+        // current state; the coordinator consumes them in order up to the
+        // first acceptance and throws the stale tail away, which makes the
+        // accepted swaps — and the budget accounting — identical to a
+        // sequential sweep for any thread count.
+        let moves = group_swaps(&current, members)?;
+        let mut start = 0;
+        while start < moves.len() {
+            let model = self.model;
+            let cur = &current;
+            let evals: Vec<Eval> = self.threads.map(&moves[start..], |mv| {
+                let next = mv.apply(cur).ok()?;
+                let c = model.cost(&next);
+                Some((next.fingerprint(), next, c))
+            });
+            let mut advance: Option<usize> = None;
+            for (off, eval) in evals.into_iter().enumerate() {
+                if self.out_of_budget() {
+                    break;
+                }
+                let Some((fp, next, c)) = eval else { continue };
+                let c = c?;
+                self.record_fp(fp);
+                if c < current_cost {
+                    current = next;
+                    current_cost = c;
+                    advance = Some(start + off + 1);
+                    break;
+                }
             }
-            // The group's pair list was taken up front, as in Fig. 7; a
-            // pair consumed by an earlier swap may no longer be adjacent,
-            // in which case `apply` refuses and the sweep moves on.
-            let Ok(next) = mv.apply(&current) else {
-                continue;
-            };
-            let c = self.cost(&next)?;
-            if c < current_cost {
-                current = next;
-                current_cost = c;
+            match advance {
+                Some(s) => start = s,
+                None => break,
             }
         }
         Ok(current)

@@ -9,10 +9,13 @@
 
 mod exhaustive;
 mod heuristic;
+mod parallel;
 
 pub use exhaustive::ExhaustiveSearch;
 pub use heuristic::{HeuristicSearch, HsGreedy};
+pub(crate) use parallel::Threads;
 
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 use crate::cost::CostModel;
@@ -117,6 +120,11 @@ pub struct SearchBudget {
     pub max_states: usize,
     /// Wall-clock limit.
     pub max_time: Duration,
+    /// Worker threads for frontier/candidate evaluation. `None` uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// sequential path. Any setting returns the same `best_cost` and
+    /// best-state signature — parallelism only changes wall-clock time.
+    pub parallelism: Option<NonZeroUsize>,
 }
 
 impl Default for SearchBudget {
@@ -124,6 +132,7 @@ impl Default for SearchBudget {
         SearchBudget {
             max_states: 200_000,
             max_time: Duration::from_secs(60),
+            parallelism: None,
         }
     }
 }
@@ -134,12 +143,75 @@ impl SearchBudget {
         SearchBudget {
             max_states,
             max_time: Duration::from_secs(u64::MAX / 4),
+            parallelism: None,
+        }
+    }
+
+    /// Set the worker-thread count (`1` forces the sequential path).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = NonZeroUsize::new(n);
+        self
+    }
+
+    /// Resolved worker count: the explicit knob, or the machine's
+    /// available parallelism.
+    pub fn threads(&self) -> usize {
+        match self.parallelism {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
         }
     }
 
     /// Is the budget spent?
     pub fn exhausted(&self, visited: usize, started: Instant) -> bool {
         visited >= self.max_states || started.elapsed() >= self.max_time
+    }
+}
+
+/// Throttled wall-clock watchdog. `Instant::now()` is a syscall on most
+/// platforms and the searches used to pay for it once per generated state;
+/// the pacer samples the clock only every [`Pacer::STRIDE`] ticks and
+/// remembers a deadline hit, so the budget's time limit costs ~1/1024th of
+/// what it did while still stopping runs within a stride of the deadline.
+#[derive(Debug)]
+pub(crate) struct Pacer {
+    started: Instant,
+    max_time: Duration,
+    ticks: u32,
+    time_up: bool,
+}
+
+impl Pacer {
+    /// Clock-sampling stride, in ticks.
+    const STRIDE: u32 = 1024;
+
+    pub(crate) fn new(started: Instant, budget: &SearchBudget) -> Self {
+        Pacer {
+            started,
+            max_time: budget.max_time,
+            ticks: 0,
+            time_up: false,
+        }
+    }
+
+    /// Count one unit of work (a generated state); returns `true` once the
+    /// wall-clock limit has been observed.
+    pub(crate) fn tick(&mut self) -> bool {
+        self.ticks = self.ticks.wrapping_add(1);
+        if !self.time_up && self.ticks.is_multiple_of(Self::STRIDE) {
+            self.time_up = self.started.elapsed() >= self.max_time;
+        }
+        self.time_up
+    }
+
+    /// Sample the clock now, regardless of the stride. Used at coarse
+    /// boundaries (per BFS generation, per HS phase) where one syscall is
+    /// negligible.
+    pub(crate) fn check_now(&mut self) -> bool {
+        if !self.time_up {
+            self.time_up = self.started.elapsed() >= self.max_time;
+        }
+        self.time_up
     }
 }
 

@@ -709,8 +709,7 @@ mod tests {
     fn physical_model_never_exceeds_naive_sort_everything() {
         use crate::cost::RowCountModel;
         for seed in 0..5u64 {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = crate::rng::Rng::seed_from_u64(seed);
             let rows = rng.gen_range(100.0..100_000.0);
             let wf = agg_chain(rows);
             let phys = PhysicalCostModel::default().cost(&wf).unwrap();

@@ -43,7 +43,15 @@ fn regenerate_nodes(graph: &mut Graph, only: Option<&[NodeId]>) -> Result<()> {
                 None => None,
             });
         }
-        match graph.node_mut(id)? {
+        // Derive from the *current* node first and mutate only on change:
+        // `node_mut` is copy-on-write, so an unconditional write would
+        // detach every node's `Arc` from sibling states and turn the cheap
+        // structural-sharing clone back into a deep copy.
+        enum Update {
+            Activity(Vec<Schema>, Schema),
+            Recordset(Schema),
+        }
+        let update = match graph.node(id)? {
             Node::Activity(act) => {
                 let mut in_schemas = Vec::with_capacity(inputs.len());
                 for (port, s) in inputs.into_iter().enumerate() {
@@ -53,26 +61,42 @@ fn regenerate_nodes(graph: &mut Graph, only: Option<&[NodeId]>) -> Result<()> {
                     }
                 }
                 let output = act.derive_output(&in_schemas)?;
-                act.inputs = in_schemas;
-                act.output = output;
-            }
-            Node::Recordset(_) => {
-                let is_target = graph.consumers(id)?.is_empty();
-                if let Node::Recordset(rs) = graph.node_mut(id)? {
-                    if let Some(Some(s)) = inputs.first() {
-                        // An intermediate recordset materializes exactly what
-                        // flows in. A *target* with a declared schema keeps
-                        // it: the flow must match (equivalence condition (a),
-                        // §3.4) and `Workflow::validate` rejects the state
-                        // otherwise. A target declared without a schema
-                        // adopts the flow as a convenience.
-                        let keep_declared = is_target && !rs.schema.is_empty();
-                        if !keep_declared && !rs.schema.same_attrs(s) {
-                            rs.schema = s.clone();
-                        }
-                    }
+                if act.inputs != in_schemas || act.output != output {
+                    Some(Update::Activity(in_schemas, output))
+                } else {
+                    None
                 }
             }
+            Node::Recordset(rs) => {
+                // An intermediate recordset materializes exactly what
+                // flows in. A *target* with a declared schema keeps
+                // it: the flow must match (equivalence condition (a),
+                // §3.4) and `Workflow::validate` rejects the state
+                // otherwise. A target declared without a schema
+                // adopts the flow as a convenience.
+                let is_target = graph.consumers(id)?.is_empty();
+                let keep_declared = is_target && !rs.schema.is_empty();
+                match inputs.first() {
+                    Some(Some(s)) if !keep_declared && !rs.schema.same_attrs(s) => {
+                        Some(Update::Recordset(s.clone()))
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match update {
+            Some(Update::Activity(in_schemas, output)) => {
+                if let Node::Activity(act) = graph.node_mut(id)? {
+                    act.inputs = in_schemas;
+                    act.output = output;
+                }
+            }
+            Some(Update::Recordset(s)) => {
+                if let Node::Recordset(rs) = graph.node_mut(id)? {
+                    rs.schema = s;
+                }
+            }
+            None => {}
         }
     }
     Ok(())
@@ -80,10 +104,48 @@ fn regenerate_nodes(graph: &mut Graph, only: Option<&[NodeId]>) -> Result<()> {
 
 /// Check whether regeneration *would* succeed on this graph without
 /// mutating it. Transitions use this to test a candidate rewiring before
-/// committing.
+/// committing. Runs as a pure derivation walk over a scratch schema table —
+/// no graph clone, no copy-on-write detaching.
 pub fn check(graph: &Graph) -> Result<()> {
-    let mut scratch = graph.clone();
-    regenerate(&mut scratch)
+    let order = graph.topo_order()?;
+    // Derived output schema per node, indexed by arena slot.
+    let cap = order.iter().map(|id| id.0 as usize + 1).max().unwrap_or(0);
+    let mut outs: Vec<Option<Schema>> = vec![None; cap];
+    for &id in &order {
+        let derived_input = |p: &Option<NodeId>| -> Option<Schema> {
+            p.map(|pid| {
+                outs[pid.0 as usize]
+                    .clone()
+                    .unwrap_or_else(|| match graph.node(pid) {
+                        Ok(n) => n.output_schema().clone(),
+                        Err(_) => Schema::empty(),
+                    })
+            })
+        };
+        let providers = graph.providers(id)?;
+        let out = match graph.node(id)? {
+            Node::Activity(act) => {
+                let mut in_schemas = Vec::with_capacity(providers.len());
+                for (port, p) in providers.iter().enumerate() {
+                    match derived_input(p) {
+                        Some(s) => in_schemas.push(s),
+                        None => return Err(CoreError::MissingProvider { node: id, port }),
+                    }
+                }
+                act.derive_output(&in_schemas)?
+            }
+            Node::Recordset(rs) => {
+                let is_target = graph.consumers(id)?.is_empty();
+                let keep_declared = is_target && !rs.schema.is_empty();
+                match providers.first().and_then(derived_input) {
+                    Some(s) if !keep_declared && !rs.schema.same_attrs(&s) => s,
+                    _ => rs.schema.clone(),
+                }
+            }
+        };
+        outs[id.0 as usize] = Some(out);
+    }
+    Ok(())
 }
 
 /// Nodes reachable downstream of `start` (inclusive), in topological order.

@@ -48,6 +48,150 @@ impl Signature {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// The 128-bit fingerprint of this signature.
+    ///
+    /// Search keys its visited sets on the fingerprint instead of the
+    /// string: a `u128` compare replaces a heap allocation plus a
+    /// hash-of-string per visited state. Two independent 64-bit lanes with
+    /// distinct multipliers make an accidental collision across both lanes
+    /// vanishingly unlikely (≪ 2⁻⁶⁴ for search-sized state sets); a
+    /// property test asserts fingerprint equality coincides with string
+    /// equality over generated workflows.
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = Fp128::new();
+        fp.write(self.0.as_bytes());
+        fp.finish()
+    }
+}
+
+/// Two-lane streaming mixer producing a 128-bit fingerprint.
+///
+/// Each lane is an FxHash-style rotate-xor-multiply over the input bytes,
+/// seeded and multiplied differently, finished with a SplitMix64-style
+/// avalanche. Byte-at-a-time processing keeps the digest independent of
+/// write granularity, so hashing a whole string and streaming the same
+/// bytes piecewise agree exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct Fp128 {
+    a: u64,
+    b: u64,
+}
+
+impl Fp128 {
+    pub(crate) fn new() -> Self {
+        // First 32 hex digits of π, split across the lanes.
+        Fp128 {
+            a: 0x243F_6A88_85A3_08D3,
+            b: 0x1319_8A2E_0370_7344,
+        }
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a.rotate_left(5) ^ u64::from(x)).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95);
+            self.b = (self.b.rotate_left(7) ^ u64::from(x)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u128 {
+        fn avalanche(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        (u128::from(avalanche(self.a)) << 64) | u128::from(avalanche(self.b))
+    }
+}
+
+impl fmt::Write for Fp128 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Fingerprint a workflow state directly, streaming the exact byte sequence
+/// of [`Signature::of`] into the mixer. Linear spines — the bulk of every
+/// signature — hash without materializing; only binary-node branches (which
+/// must be rendered to compare commutative orderings) and shared subflows
+/// build intermediate strings.
+pub(crate) fn fingerprint_of(wf: &Workflow) -> u128 {
+    use std::fmt::Write;
+    let mut memo: HashMap<NodeId, String> = HashMap::new();
+    let mut fp = Fp128::new();
+    let targets = wf.targets();
+    if targets.len() == 1 {
+        render_fp(wf, targets[0], &mut memo, &mut fp);
+    } else {
+        // Multi-target states sort rendered target chains, so they have to
+        // materialize — rare outside hand-built scenarios.
+        let mut chains: Vec<String> = targets
+            .into_iter()
+            .map(|t| {
+                let mut out = String::with_capacity(64);
+                render(wf, t, &mut memo, &mut out);
+                out
+            })
+            .collect();
+        chains.sort();
+        let _ = fp.write_str(&chains.join("||"));
+    }
+    fp.finish()
+}
+
+/// Streaming twin of [`render`]: identical byte output, but the unary spine
+/// goes straight into the mixer.
+fn render_fp(wf: &Workflow, id: NodeId, memo: &mut HashMap<NodeId, String>, fp: &mut Fp128) {
+    use std::fmt::Write;
+    let graph = wf.graph();
+    let shared = graph.consumers(id).map(|c| c.len() > 1).unwrap_or(false);
+    if shared {
+        // Shared subflows memoize their string form; render through the
+        // string path so the memo stays consistent with `render`.
+        if !memo.contains_key(&id) {
+            let mut out = String::with_capacity(64);
+            render(wf, id, memo, &mut out);
+            memo.entry(id).or_insert(out);
+        }
+        fp.write(memo[&id].as_bytes());
+        return;
+    }
+    let providers = graph.providers(id).unwrap_or_default();
+    match providers.len() {
+        0 => {}
+        1 => {
+            if let Some(p) = providers[0] {
+                render_fp(wf, p, memo, fp);
+                fp.write(b".");
+            }
+        }
+        _ => {
+            let mut l = String::with_capacity(32);
+            let mut r = String::with_capacity(32);
+            if let Some(p) = providers[0] {
+                render(wf, p, memo, &mut l);
+            }
+            if let Some(p) = providers[1] {
+                render(wf, p, memo, &mut r);
+            }
+            let commutative = match graph.node(id) {
+                Ok(Node::Activity(a)) => match &a.op {
+                    crate::activity::Op::Binary(b) => b.is_commutative(),
+                    _ => false,
+                },
+                _ => false,
+            };
+            let (l, r) = if commutative && r < l { (r, l) } else { (l, r) };
+            let _ = write!(fp, "(({l})//({r})).");
+        }
+    }
+    match graph.node(id) {
+        Ok(Node::Activity(a)) => {
+            let _ = write!(fp, "{}", a.id);
+        }
+        _ => fp.write(wf.priority_token(id).as_bytes()),
+    }
 }
 
 impl fmt::Display for Signature {
@@ -195,5 +339,61 @@ mod tests {
     fn signature_is_stable_across_clones() {
         let wf = linear();
         assert_eq!(wf.signature(), wf.clone().signature());
+    }
+
+    #[test]
+    fn fingerprint_is_write_granularity_independent() {
+        let mut whole = Fp128::new();
+        whole.write(b"((1.3)//(2.4.5.6)).7.8.9");
+        let mut pieces = Fp128::new();
+        for piece in ["((1.3)", "//", "(2.4.5.6))", ".7.8.9"] {
+            pieces.write(piece.as_bytes());
+        }
+        assert_eq!(whole.finish(), pieces.finish());
+    }
+
+    #[test]
+    fn streaming_fingerprint_matches_string_fingerprint() {
+        // Linear spine (pure streaming path).
+        let wf = linear();
+        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+
+        // Binary node (branch materialization path).
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["a"]), 10.0);
+        let s2 = b.source("S2", Schema::of(["a"]), 10.0);
+        let u = b.binary("U", BinaryOp::Union, s1, s2);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), u);
+        b.target("T", Schema::of(["a"]), f);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+
+        // Shared subflow (memo path).
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["a"]), 10.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+        let j = b.binary("∩", BinaryOp::Intersection, f, f);
+        b.target("T", Schema::of(["a"]), j);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+
+        // Multi-target (sorted-join path).
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["a"]), 10.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+        b.target("T1", Schema::of(["a"]), f);
+        b.target("T2", Schema::of(["a"]), s);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+    }
+
+    #[test]
+    fn distinct_signatures_have_distinct_fingerprints() {
+        let a = Signature("1.2.3.4".to_owned()).fingerprint();
+        let b = Signature("1.3.2.4".to_owned()).fingerprint();
+        let c = Signature("((1.3)//(2.4.5.6)).7.8.9".to_owned()).fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 }

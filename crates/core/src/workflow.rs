@@ -27,8 +27,9 @@ use crate::signature::Signature;
 pub struct Workflow {
     pub(crate) graph: Graph,
     /// Initial topological priority of every recordset node (activities
-    /// carry their priority inside [`ActivityId`]).
-    pub(crate) rs_priority: BTreeMap<NodeId, u32>,
+    /// carry their priority inside [`ActivityId`]). Behind `Arc`: the table
+    /// never changes after `build`, so cloned states share one copy.
+    pub(crate) rs_priority: std::sync::Arc<BTreeMap<NodeId, u32>>,
 }
 
 impl Workflow {
@@ -84,6 +85,14 @@ impl Workflow {
     /// `((1.3)//(2.4.5.6)).7.8.9` for the paper's Fig. 1.
     pub fn signature(&self) -> Signature {
         Signature::of(self)
+    }
+
+    /// The 128-bit fingerprint of this state's signature, streamed into the
+    /// mixer without materializing the signature string for linear spines.
+    /// Agrees exactly with `self.signature().fingerprint()`; search visited
+    /// sets key on this value.
+    pub fn fingerprint(&self) -> u128 {
+        crate::signature::fingerprint_of(self)
     }
 
     /// The initial-topology priority of a node: activities carry it in
@@ -500,7 +509,10 @@ impl WorkflowBuilder {
             }
         }
         schema_gen::regenerate(&mut graph)?;
-        let wf = Workflow { graph, rs_priority };
+        let wf = Workflow {
+            graph,
+            rs_priority: std::sync::Arc::new(rs_priority),
+        };
         wf.validate()?;
         Ok(wf)
     }
@@ -540,6 +552,57 @@ mod tests {
         let targets = wf.targets();
         assert_eq!(targets.len(), 1);
         assert_eq!(wf.priority_token(targets[0]), "7");
+    }
+
+    #[test]
+    fn transitions_share_untouched_nodes() {
+        // The structural-sharing contract behind cheap state clones: a
+        // transition detaches (at most) the nodes it rewires plus nodes
+        // whose schemas change downstream; everything else must still be
+        // the *same* `Arc` as in the origin state.
+        use crate::opt::{enumerate_moves, Move};
+        use crate::transition::Transition;
+        // SK/σ swappable on branch 1; branch 2 (NN) and the tail untouched.
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["k", "v"]), 100.0);
+        let s2 = b.source("S2", Schema::of(["sk", "v"]), 200.0);
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), s1);
+        let f = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 0)).with_selectivity(0.5),
+            sk,
+        );
+        let nn = b.unary("NN", UnaryOp::not_null("v").with_selectivity(0.9), s2);
+        let u = b.binary("U", BinaryOp::Union, f, nn);
+        b.target("T", Schema::of(["sk", "v"]), u);
+        let wf = b.build().unwrap();
+        let moves = enumerate_moves(&wf).unwrap();
+        let swap = moves
+            .iter()
+            .find_map(|m| match m {
+                Move::Swap(s) => Some(*s),
+                _ => None,
+            })
+            .expect("a legal swap exists");
+        let next = swap.apply(&wf).unwrap();
+        let touched = [swap.a1, swap.a2];
+        let mut shared = 0;
+        for id in wf.graph().node_ids() {
+            if touched.contains(&id) || !next.graph().contains(id) {
+                continue;
+            }
+            assert!(
+                std::sync::Arc::ptr_eq(
+                    wf.graph().node_arc(id).unwrap(),
+                    next.graph().node_arc(id).unwrap()
+                ),
+                "node {id} was detached by an unrelated swap"
+            );
+            shared += 1;
+        }
+        assert!(shared >= 4, "expected most nodes shared, got {shared}");
+        // The priority table is shared wholesale.
+        assert!(std::sync::Arc::ptr_eq(&wf.rs_priority, &next.rs_priority));
     }
 
     #[test]

@@ -1,159 +1,206 @@
-//! Property tests over the core data structures: schema algebra, predicate
-//! text round-trips, commutation symmetry and signature/graph invariants.
+//! Randomized property tests over the core data structures: schema algebra,
+//! predicate text round-trips, commutation symmetry and id-algebra
+//! invariants. Driven by the in-repo seeded [`Rng`] (the build environment
+//! is offline, so `proptest` is unavailable); every case prints its seed on
+//! failure so a shrink-by-hand reproduction is one constant away.
 
 use etlopt_core::predicate::{CmpOp, Predicate};
+use etlopt_core::rng::Rng;
 use etlopt_core::scalar::Scalar;
 use etlopt_core::schema::{Attr, Schema};
 use etlopt_core::semantics::{Aggregation, UnaryOp};
 use etlopt_core::transition::commute::ops_commute;
-use proptest::prelude::*;
 
-fn attr_name() -> impl Strategy<Value = String> {
-    "[a-d]{1,2}".prop_map(|s| s)
+const CASES: u64 = 512;
+
+fn attr_name(rng: &mut Rng) -> String {
+    let letters = ['a', 'b', 'c', 'd'];
+    let len = rng.gen_range(1..=2usize);
+    (0..len)
+        .map(|_| letters[rng.gen_range(0..4usize)])
+        .collect()
 }
 
-fn schema() -> impl Strategy<Value = Schema> {
-    proptest::collection::btree_set(attr_name(), 0..5)
-        .prop_map(|s| s.into_iter().map(Attr::new).collect())
+fn schema(rng: &mut Rng) -> Schema {
+    let n = rng.gen_range(0..5usize);
+    (0..n).map(|_| Attr::new(attr_name(rng))).collect()
 }
 
-fn scalar() -> impl Strategy<Value = Scalar> {
-    prop_oneof![
-        Just(Scalar::Null),
-        any::<i32>().prop_map(|i| Scalar::Int(i as i64)),
-        (-1000.0..1000.0f64).prop_map(Scalar::Float),
-        any::<bool>().prop_map(Scalar::Bool),
-        (-5000i32..5000).prop_map(Scalar::Date),
-        "[ -~]{0,12}".prop_map(Scalar::from),
-    ]
-}
-
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
-
-fn predicate() -> impl Strategy<Value = Predicate> {
-    let leaf = prop_oneof![
-        (attr_name(), cmp_op(), scalar()).prop_map(|(a, op, v)| Predicate::Cmp {
-            attr: a.into(),
-            op,
-            value: v
-        }),
-        attr_name().prop_map(|a| Predicate::not_null(a.as_str())),
-        attr_name().prop_map(|a| Predicate::IsNull(Attr::new(a))),
-        (attr_name(), proptest::collection::vec(scalar(), 1..4)).prop_map(|(a, vs)| {
-            Predicate::InList {
-                attr: a.into(),
-                values: vs,
-            }
-        }),
-        Just(Predicate::True),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(Predicate::not),
-        ]
-    })
-}
-
-proptest! {
-    // --- Schema algebra -------------------------------------------------
-
-    #[test]
-    fn union_is_idempotent_and_monotone(a in schema(), b in schema()) {
-        let u = a.union(&b);
-        prop_assert!(a.is_subset_of(&u));
-        prop_assert!(b.is_subset_of(&u));
-        prop_assert_eq!(u.union(&b), u.clone());
-        prop_assert!(u.same_attrs(&b.union(&a)));
+fn scalar(rng: &mut Rng) -> Scalar {
+    match rng.gen_range(0..6u32) {
+        0 => Scalar::Null,
+        1 => Scalar::Int(rng.gen_range(i32::MIN as i64..=i32::MAX as i64)),
+        2 => Scalar::Float(rng.gen_range(-1000.0..1000.0)),
+        3 => Scalar::Bool(rng.gen_bool(0.5)),
+        4 => Scalar::Date(rng.gen_range(-5000..5000i32)),
+        _ => {
+            let len = rng.gen_range(0..=12usize);
+            Scalar::from(
+                (0..len)
+                    .map(|_| char::from(rng.gen_range(0x20..0x7fu32) as u8))
+                    .collect::<String>(),
+            )
+        }
     }
+}
 
-    #[test]
-    fn difference_and_intersection_partition(a in schema(), b in schema()) {
+fn cmp_op(rng: &mut Rng) -> CmpOp {
+    match rng.gen_range(0..6u32) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+fn leaf_predicate(rng: &mut Rng) -> Predicate {
+    match rng.gen_range(0..5u32) {
+        0 => Predicate::Cmp {
+            attr: attr_name(rng).into(),
+            op: cmp_op(rng),
+            value: scalar(rng),
+        },
+        1 => Predicate::not_null(attr_name(rng).as_str()),
+        2 => Predicate::IsNull(Attr::new(attr_name(rng))),
+        3 => {
+            let n = rng.gen_range(1..4usize);
+            Predicate::InList {
+                attr: attr_name(rng).into(),
+                values: (0..n).map(|_| scalar(rng)).collect(),
+            }
+        }
+        _ => Predicate::True,
+    }
+}
+
+fn predicate(rng: &mut Rng, depth: usize) -> Predicate {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return leaf_predicate(rng);
+    }
+    match rng.gen_range(0..3u32) {
+        0 => predicate(rng, depth - 1).and(predicate(rng, depth - 1)),
+        1 => predicate(rng, depth - 1).or(predicate(rng, depth - 1)),
+        _ => predicate(rng, depth - 1).not(),
+    }
+}
+
+// --- Schema algebra -----------------------------------------------------
+
+#[test]
+fn union_is_idempotent_and_monotone() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (a, b) = (schema(&mut rng), schema(&mut rng));
+        let u = a.union(&b);
+        assert!(a.is_subset_of(&u), "seed {seed}");
+        assert!(b.is_subset_of(&u), "seed {seed}");
+        assert_eq!(u.union(&b), u, "seed {seed}");
+        assert!(u.same_attrs(&b.union(&a)), "seed {seed}");
+    }
+}
+
+#[test]
+fn difference_and_intersection_partition() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x11);
+        let (a, b) = (schema(&mut rng), schema(&mut rng));
         let d = a.difference(&b);
         let i = a.intersection(&b);
-        prop_assert_eq!(d.len() + i.len(), a.len());
+        assert_eq!(d.len() + i.len(), a.len(), "seed {seed}");
         for x in d.iter() {
-            prop_assert!(!b.contains(x));
+            assert!(!b.contains(x), "seed {seed}");
         }
         for x in i.iter() {
-            prop_assert!(b.contains(x));
+            assert!(b.contains(x), "seed {seed}");
         }
         // d and i are disjoint and together rebuild a (as a set).
-        prop_assert!(d.union(&i).same_attrs(&a));
+        assert!(d.union(&i).same_attrs(&a), "seed {seed}");
     }
+}
 
-    #[test]
-    fn subset_is_a_partial_order(a in schema(), b in schema(), c in schema()) {
-        prop_assert!(a.is_subset_of(&a));
+#[test]
+fn subset_is_a_partial_order() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x22);
+        let (a, b, c) = (schema(&mut rng), schema(&mut rng), schema(&mut rng));
+        assert!(a.is_subset_of(&a), "seed {seed}");
         if a.is_subset_of(&b) && b.is_subset_of(&c) {
-            prop_assert!(a.is_subset_of(&c));
+            assert!(a.is_subset_of(&c), "seed {seed}");
         }
         if a.is_subset_of(&b) && b.is_subset_of(&a) {
-            prop_assert!(a.same_attrs(&b));
+            assert!(a.same_attrs(&b), "seed {seed}");
         }
     }
+}
 
-    // --- Scalars ---------------------------------------------------------
+// --- Scalars -------------------------------------------------------------
 
-    #[test]
-    fn total_cmp_is_a_total_order(a in scalar(), b in scalar(), c in scalar()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+#[test]
+fn total_cmp_is_a_total_order() {
+    use std::cmp::Ordering;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x33);
+        let (a, b, c) = (scalar(&mut rng), scalar(&mut rng), scalar(&mut rng));
+        assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse(), "seed {seed}");
+        assert_eq!(a.total_cmp(&a), Ordering::Equal, "seed {seed}");
         if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+            assert_ne!(a.total_cmp(&c), Ordering::Greater, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn compare_is_antisymmetric_when_defined(a in scalar(), b in scalar()) {
+#[test]
+fn compare_is_antisymmetric_when_defined() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x44);
+        let (a, b) = (scalar(&mut rng), scalar(&mut rng));
         if let (Some(x), Some(y)) = (a.compare(&b), b.compare(&a)) {
-            prop_assert_eq!(x, y.reverse());
+            assert_eq!(x, y.reverse(), "seed {seed}");
         }
     }
+}
 
-    // --- Predicates ------------------------------------------------------
+// --- Predicates ----------------------------------------------------------
 
-    #[test]
-    fn predicate_text_roundtrips(p in predicate()) {
+#[test]
+fn predicate_text_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x55);
+        let p = predicate(&mut rng, 3);
         let text = etlopt_core::text::pred::render(&p);
         let mut cursor = etlopt_core::text::lexer::Cursor::new(&text).unwrap();
         let back = etlopt_core::text::pred::parse(&mut cursor).unwrap();
         cursor.expect_end().unwrap();
-        prop_assert_eq!(back, p, "through `{}`", text);
+        assert_eq!(back, p, "seed {seed} through `{text}`");
     }
+}
 
-    #[test]
-    fn referenced_attrs_covers_every_leaf(p in predicate()) {
+#[test]
+fn referenced_attrs_covers_every_leaf() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x66);
+        let p = predicate(&mut rng, 3);
         // Rendering mentions exactly the attributes referenced_attrs reports
         // (string containment as a weak but effective oracle).
         let attrs = p.referenced_attrs();
         let text = etlopt_core::text::pred::render(&p);
         for a in attrs.iter() {
-            prop_assert!(text.contains(a.name()), "{} not in `{}`", a, text);
+            assert!(text.contains(a.name()), "seed {seed}: {a} not in `{text}`");
         }
     }
+}
 
-    // --- Commutation -----------------------------------------------------
+// --- Commutation ---------------------------------------------------------
 
-    #[test]
-    fn ops_commute_is_symmetric(
-        a_attr in attr_name(),
-        b_attr in attr_name(),
-        which_a in 0usize..5,
-        which_b in 0usize..5,
-    ) {
-        let mk = |which: usize, attr: &str| -> UnaryOp {
+#[test]
+fn ops_commute_is_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x77);
+        let a_attr = attr_name(&mut rng);
+        let b_attr = attr_name(&mut rng);
+        let mk = |which: u32, attr: &str| -> UnaryOp {
             match which {
                 0 => UnaryOp::filter(Predicate::gt(attr, 1)),
                 1 => UnaryOp::not_null(attr),
@@ -162,24 +209,33 @@ proptest! {
                 _ => UnaryOp::Dedup { selectivity: 1.0 },
             }
         };
-        let a = mk(which_a, &a_attr);
-        let b = mk(which_b, &b_attr);
-        prop_assert_eq!(ops_commute(&a, &b).is_ok(), ops_commute(&b, &a).is_ok());
+        let a = mk(rng.gen_range(0..5u32), &a_attr);
+        let b = mk(rng.gen_range(0..5u32), &b_attr);
+        assert_eq!(
+            ops_commute(&a, &b).is_ok(),
+            ops_commute(&b, &a).is_ok(),
+            "seed {seed}: {a:?} vs {b:?}"
+        );
     }
+}
 
-    // --- Activity-id algebra ----------------------------------------------
+// --- Activity-id algebra -------------------------------------------------
 
-    #[test]
-    fn factored_distributed_are_inverse(base in 0u32..1000) {
-        use etlopt_core::activity::ActivityId;
+#[test]
+fn factored_distributed_are_inverse() {
+    use etlopt_core::activity::ActivityId;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x88);
+        let base = rng.gen_range(0..1000u32);
         let id = ActivityId::Base(base);
         let (c1, c2) = ActivityId::distributed(&id);
-        prop_assert_eq!(ActivityId::factored(&c1, &c2), id.clone());
+        assert_eq!(ActivityId::factored(&c1, &c2), id, "seed {seed}");
         let other = ActivityId::Base(base.wrapping_add(1));
         let f = ActivityId::factored(&id, &other);
         let (x, y) = ActivityId::distributed(&f);
-        prop_assert!(
-            (x == id.clone() && y == other.clone()) || (x == other && y == id)
+        assert!(
+            (x == id && y == other) || (x == other && y == id),
+            "seed {seed}"
         );
     }
 }

@@ -2,11 +2,10 @@
 //! generated — can be executed by the engine.
 
 use etlopt_core::graph::Node;
+use etlopt_core::rng::Rng;
 use etlopt_core::scalar::Scalar;
 use etlopt_core::workflow::Workflow;
 use etlopt_engine::{Catalog, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Build a catalog with `rows_per_source` random rows for every source
 /// recordset of `wf`. Value distributions are keyed by attribute-name
@@ -19,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// * everything else → floats in `(0, 1000)` with a 3 % NULL rate (so
 ///   not-null checks actually drop rows).
 pub fn catalog_for(wf: &Workflow, rows_per_source: usize, seed: u64) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut catalog = Catalog::new();
     for src in wf.sources() {
         let Ok(Node::Recordset(rs)) = wf.graph().node(src) else {
@@ -39,7 +38,7 @@ pub fn catalog_for(wf: &Workflow, rows_per_source: usize, seed: u64) -> Catalog 
     catalog
 }
 
-fn random_value(attr: &str, rng: &mut StdRng) -> Scalar {
+fn random_value(attr: &str, rng: &mut Rng) -> Scalar {
     if attr == "pkey" || attr.ends_with("_id") || attr == "session" || attr == "acct" {
         Scalar::Int(rng.gen_range(1..200))
     } else if attr == "date" {

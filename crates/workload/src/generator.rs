@@ -14,11 +14,10 @@ use std::fmt;
 
 use etlopt_core::graph::NodeId;
 use etlopt_core::predicate::Predicate;
+use etlopt_core::rng::Rng;
 use etlopt_core::schema::Schema;
 use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
 use etlopt_core::workflow::{Workflow, WorkflowBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The paper's three workflow size bands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,14 +104,14 @@ fn branch_schema() -> Schema {
 /// Seeded workflow generator.
 #[derive(Debug)]
 pub struct Generator {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Generator {
     /// Generator from a seed.
     pub fn new(seed: u64) -> Self {
         Generator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -224,7 +223,7 @@ impl Generator {
         let trap_len = trap_depth + 2;
         // Joint tail: a couple of row-wise ops, the joint trap, an
         // aggregation, a surrogate key and a final business-rule selection.
-        let joint_rowwise = self.rng.gen_range(1..=3);
+        let joint_rowwise = self.rng.gen_range(1..=3usize);
         let joint_len = joint_rowwise + 3 + if joint_trap { trap_len } else { 0 };
         let mid_total = unions.saturating_sub(1); // one op between chained unions
         let trap_per_branch = if branch_trap { trap_len } else { 0 };

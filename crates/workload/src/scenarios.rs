@@ -2,13 +2,12 @@
 
 use etlopt_core::naming::NamingRegistry;
 use etlopt_core::predicate::Predicate;
+use etlopt_core::rng::Rng;
 use etlopt_core::scalar::Scalar;
 use etlopt_core::schema::Schema;
 use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
 use etlopt_core::workflow::{Workflow, WorkflowBuilder};
 use etlopt_engine::{Catalog, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The paper's Fig. 1 workflow.
 ///
@@ -106,7 +105,7 @@ pub fn fig1_naming() -> NamingRegistry {
 /// NULL costs for the `NN` check to catch) and daily Dollar rows for
 /// `PARTS2`.
 pub fn fig1_catalog(seed: u64, parts1_rows: usize, parts2_rows: usize) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut catalog = Catalog::new();
 
     let mut t1 = Table::empty(Schema::of(["pkey", "source", "date", "euro_cost"]));
@@ -141,7 +140,7 @@ pub fn fig1_catalog(seed: u64, parts1_rows: usize, parts2_rows: usize) -> Catalo
             // Daily grain, later snapped to months by the aggregation's
             // grouping on the (monthly) reference date.
             Scalar::Date(rng.gen_range(0..24) * 30),
-            Scalar::Str(["toys", "tools", "food"][rng.gen_range(0..3)].to_owned()),
+            Scalar::Str(["toys", "tools", "food"][rng.gen_range(0..3usize)].to_owned()),
             Scalar::Float((rng.gen_range(10.0..600.0_f64) * 100.0).round() / 100.0),
         ])
         .unwrap();
@@ -209,7 +208,7 @@ pub fn clickstream() -> Workflow {
 
 /// Data for [`clickstream`].
 pub fn clickstream_catalog(seed: u64, rows_per_log: usize) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut catalog = Catalog::new();
     for name in ["LOG1", "LOG2"] {
         let mut t = Table::empty(Schema::of(["session", "date", "clicks", "is_bot"]));
@@ -261,7 +260,7 @@ pub fn reconciliation() -> Workflow {
 /// Data for [`reconciliation`]: yesterday's ledger is a subset of today's
 /// plus noise, so the difference is small and meaningful.
 pub fn reconciliation_catalog(seed: u64, rows: usize) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut catalog = Catalog::new();
     let mut today = Table::empty(Schema::of(["acct", "dollar_amt"]));
     let mut yday = Table::empty(Schema::of(["acct", "dollar_amt"]));

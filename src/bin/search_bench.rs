@@ -1,0 +1,160 @@
+//! Search-throughput baseline: states/sec for ES and HS, sequential vs
+//! parallel, on generated small/medium workloads, plus clone/transition
+//! micro-timings demonstrating that cloning a state costs O(topology) and a
+//! transition detaches only the touched nodes (structural sharing).
+//!
+//! Emits `BENCH_search.json` in the current directory. Criterion-free so it
+//! runs offline from the workspace; run with
+//! `cargo run --release --bin search_bench`.
+
+use std::time::Instant;
+
+use etlopt::core::opt::{
+    enumerate_moves, ExhaustiveSearch, HeuristicSearch, Optimizer, SearchBudget,
+};
+use etlopt::prelude::*;
+use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+
+/// States/sec over a few repetitions, keeping the best run (least noise).
+fn throughput(opt: &dyn Optimizer, wf: &etlopt::core::workflow::Workflow) -> (f64, usize) {
+    let model = RowCountModel::default();
+    let mut best = 0.0f64;
+    let mut visited = 0;
+    for _ in 0..3 {
+        let out = opt.run(wf, &model).expect("search runs");
+        let secs = out.elapsed.as_secs_f64().max(1e-9);
+        let rate = out.visited_states as f64 / secs;
+        if rate > best {
+            best = rate;
+            visited = out.visited_states;
+        }
+    }
+    (best, visited)
+}
+
+/// Average nanoseconds of `f` over `iters` runs.
+fn avg_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct CloneStats {
+    nodes: usize,
+    clone_ns: f64,
+    transition_ns: f64,
+    shared_after_transition: usize,
+}
+
+/// Time a full state clone and one swap transition; count how many nodes of
+/// the post-state still share their `Arc` payload with the pre-state (same
+/// allocation ⇒ same `&Node` address through the public accessor).
+fn clone_stats(wf: &etlopt::core::workflow::Workflow) -> CloneStats {
+    let nodes = wf.graph().iter().count();
+    let clone_ns = avg_ns(2_000, || {
+        std::hint::black_box(wf.clone());
+    });
+    let swap = enumerate_moves(wf)
+        .expect("moves enumerate")
+        .into_iter()
+        .find(|m| matches!(m, etlopt::core::opt::Move::Swap(_)));
+    let (transition_ns, shared_after_transition) = match swap {
+        Some(mv) => {
+            let ns = avg_ns(500, || {
+                std::hint::black_box(mv.apply(wf).expect("swap applies"));
+            });
+            let next = mv.apply(wf).expect("swap applies");
+            let shared = wf
+                .graph()
+                .iter()
+                .filter(|(id, node)| {
+                    next.graph()
+                        .node(*id)
+                        .map(|other| std::ptr::eq::<etlopt::core::graph::Node>(*node, other))
+                        .unwrap_or(false)
+                })
+                .count();
+            (ns, shared)
+        }
+        None => (0.0, 0),
+    };
+    CloneStats {
+        nodes,
+        clone_ns,
+        transition_ns,
+        shared_after_transition,
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sections = Vec::new();
+
+    for category in [SizeCategory::Small, SizeCategory::Medium] {
+        let s = Generator::generate(GeneratorConfig { seed: 42, category });
+        let label = match category {
+            SizeCategory::Small => "small",
+            SizeCategory::Medium => "medium",
+            SizeCategory::Large => "large",
+        };
+
+        let es_budget = SearchBudget::states(10_000);
+        let (es_seq, es_visited) = throughput(
+            &ExhaustiveSearch::with_budget(es_budget.with_parallelism(1)),
+            &s.workflow,
+        );
+        let (es_par, _) = throughput(
+            &ExhaustiveSearch::with_budget(es_budget.with_parallelism(4)),
+            &s.workflow,
+        );
+
+        let hs_budget = SearchBudget::states(20_000);
+        let (hs_seq, hs_visited) = throughput(
+            &HeuristicSearch::with_budget(hs_budget.with_parallelism(1)),
+            &s.workflow,
+        );
+        let (hs_par, _) = throughput(
+            &HeuristicSearch::with_budget(hs_budget.with_parallelism(4)),
+            &s.workflow,
+        );
+
+        let c = clone_stats(&s.workflow);
+        sections.push(format!(
+            concat!(
+                "  \"{label}\": {{\n",
+                "    \"es\": {{\"seq_states_per_sec\": {es_seq:.0}, ",
+                "\"par4_states_per_sec\": {es_par:.0}, ",
+                "\"speedup\": {es_speedup:.2}, \"visited\": {es_visited}}},\n",
+                "    \"hs\": {{\"seq_states_per_sec\": {hs_seq:.0}, ",
+                "\"par4_states_per_sec\": {hs_par:.0}, ",
+                "\"speedup\": {hs_speedup:.2}, \"visited\": {hs_visited}}},\n",
+                "    \"clone\": {{\"nodes\": {nodes}, \"clone_ns\": {clone_ns:.0}, ",
+                "\"swap_transition_ns\": {transition_ns:.0}, ",
+                "\"nodes_shared_after_swap\": {shared}}}\n",
+                "  }}"
+            ),
+            label = label,
+            es_seq = es_seq,
+            es_par = es_par,
+            es_speedup = es_par / es_seq.max(1e-9),
+            es_visited = es_visited,
+            hs_seq = hs_seq,
+            hs_par = hs_par,
+            hs_speedup = hs_par / hs_seq.max(1e-9),
+            hs_visited = hs_visited,
+            nodes = c.nodes,
+            clone_ns = c.clone_ns,
+            transition_ns = c.transition_ns,
+            shared = c.shared_after_transition,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"machine_threads\": {threads},\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    print!("{json}");
+}

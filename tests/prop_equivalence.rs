@@ -1,12 +1,13 @@
-//! Property tests: every reachable state is equivalent to its origin —
-//! formally (post-condition calculus, Theorem 2) and empirically (the
-//! engine loads identical warehouse contents).
+//! Randomized property tests: every reachable state is equivalent to its
+//! origin — formally (post-condition calculus, Theorem 2) and empirically
+//! (the engine loads identical warehouse contents). Driven by the in-repo
+//! seeded [`Rng`] (offline build — no `proptest`); failures name their seed.
 
 use etlopt::core::opt::{enumerate_moves, Move};
 use etlopt::core::postcond::equivalent;
+use etlopt::core::rng::Rng;
 use etlopt::prelude::*;
 use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
-use proptest::prelude::*;
 
 /// Walk a pseudo-random path through the state space, returning the final
 /// state and how many transitions were applied.
@@ -27,43 +28,64 @@ fn random_walk(wf: &Workflow, picks: &[u8]) -> (Workflow, usize) {
     (cur, applied)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+fn picks(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect()
+}
 
-    /// Theorem 2, executable: any chain of applicable transitions produces
-    /// a state with the same post-condition and target schemata.
-    #[test]
-    fn random_walks_preserve_formal_equivalence(
-        seed in 0u64..500,
-        picks in proptest::collection::vec(any::<u8>(), 1..6),
-    ) {
-        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+/// Theorem 2, executable: any chain of applicable transitions produces
+/// a state with the same post-condition and target schemata.
+#[test]
+fn random_walks_preserve_formal_equivalence() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case);
+        let seed = rng.gen_range(0..500u64);
+        let picks = picks(&mut rng, 6);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
         let (end, applied) = random_walk(&s.workflow, &picks);
-        prop_assert!(equivalent(&s.workflow, &end).unwrap());
+        assert!(equivalent(&s.workflow, &end).unwrap(), "case {case}");
         if applied > 0 {
-            prop_assert!(end.validate().is_ok());
+            assert!(end.validate().is_ok(), "case {case}");
         }
     }
+}
 
-    /// The engine agrees: the walked-to state loads identical warehouse
-    /// contents on real rows.
-    #[test]
-    fn random_walks_preserve_empirical_equivalence(
-        seed in 0u64..200,
-        picks in proptest::collection::vec(any::<u8>(), 1..5),
-    ) {
-        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+/// The engine agrees: the walked-to state loads identical warehouse
+/// contents on real rows.
+#[test]
+fn random_walks_preserve_empirical_equivalence() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0101);
+        let seed = rng.gen_range(0..200u64);
+        let picks = picks(&mut rng, 5);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
         let (end, _) = random_walk(&s.workflow, &picks);
         let catalog = datagen::catalog_for(&s.workflow, 120, seed ^ 0xabcd);
         let exec = Executor::new(catalog);
-        prop_assert!(etlopt::engine::equivalent_execution(&exec, &s.workflow, &end).unwrap());
+        assert!(
+            etlopt::engine::equivalent_execution(&exec, &s.workflow, &end).unwrap(),
+            "case {case}"
+        );
     }
+}
 
-    /// A move and its inverse cancel: DIS then FAC of the clones restores
-    /// the signature (and vice versa where applicable).
-    #[test]
-    fn distribute_factorize_inverts(seed in 0u64..300) {
-        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+/// A move and its inverse cancel: DIS then FAC of the clones restores
+/// the signature (and vice versa where applicable).
+#[test]
+fn distribute_factorize_inverts() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0202);
+        let seed = rng.gen_range(0..300u64);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
         let wf = &s.workflow;
         for mv in enumerate_moves(wf).unwrap() {
             if let Move::Distribute(d) = mv {
@@ -73,34 +95,85 @@ proptest! {
                 let fac = etlopt::core::transition::Factorize::new(d.binary, p1, p2);
                 use etlopt::core::transition::Transition;
                 let back = fac.apply(&dis).unwrap();
-                prop_assert_eq!(wf.signature(), back.signature());
+                assert_eq!(wf.signature(), back.signature(), "case {case}");
             }
         }
     }
+}
 
-    /// Signatures identify states: two different walks that end in the same
-    /// signature are the same workflow graph up to slot numbering — their
-    /// costs agree under any model.
-    #[test]
-    fn equal_signatures_mean_equal_costs(
-        seed in 0u64..200,
-        picks_a in proptest::collection::vec(any::<u8>(), 1..5),
-        picks_b in proptest::collection::vec(any::<u8>(), 1..5),
-    ) {
-        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+/// Signatures identify states: two different walks that end in the same
+/// signature are the same workflow graph up to slot numbering — their
+/// costs agree under any model.
+#[test]
+fn equal_signatures_mean_equal_costs() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0303);
+        let seed = rng.gen_range(0..200u64);
+        let picks_a = picks(&mut rng, 5);
+        let picks_b = picks(&mut rng, 5);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
         let (a, _) = random_walk(&s.workflow, &picks_a);
         let (b, _) = random_walk(&s.workflow, &picks_b);
         if a.signature() == b.signature() {
             let model = RowCountModel::default();
-            prop_assert!((model.cost(&a).unwrap() - model.cost(&b).unwrap()).abs() < 1e-9);
+            assert!(
+                (model.cost(&a).unwrap() - model.cost(&b).unwrap()).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The optimizers only ever return equivalent states, and never a more
-    /// expensive one than the input.
-    #[test]
-    fn optimizers_return_equivalent_never_worse_states(seed in 0u64..120) {
-        let s = Generator::generate(GeneratorConfig { seed, category: SizeCategory::Small });
+/// Fingerprints identify signatures: across walked-to states, fingerprint
+/// equality must coincide with signature-string equality (the visited sets
+/// key on the 128-bit fingerprint alone).
+#[test]
+fn fingerprint_equality_implies_signature_equality() {
+    let mut states: Vec<Workflow> = Vec::new();
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0404);
+        let seed = rng.gen_range(0..200u64);
+        let picks = picks(&mut rng, 5);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
+        let (end, _) = random_walk(&s.workflow, &picks);
+        states.push(s.workflow);
+        states.push(end);
+    }
+    for x in &states {
+        // The streaming workflow fingerprint must agree with hashing the
+        // rendered signature string.
+        assert_eq!(x.fingerprint(), x.signature().fingerprint());
+        for y in &states {
+            let fp_eq = x.fingerprint() == y.fingerprint();
+            let sig_eq = x.signature() == y.signature();
+            assert_eq!(
+                fp_eq,
+                sig_eq,
+                "fingerprint/signature disagreement: {} vs {}",
+                x.signature(),
+                y.signature()
+            );
+        }
+    }
+}
+
+/// The optimizers only ever return equivalent states, and never a more
+/// expensive one than the input.
+#[test]
+fn optimizers_return_equivalent_never_worse_states() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0505);
+        let seed = rng.gen_range(0..120u64);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
         let model = RowCountModel::default();
         let budget = etlopt::core::opt::SearchBudget::states(3_000);
         for optimizer in [
@@ -109,8 +182,8 @@ proptest! {
             Box::new(ExhaustiveSearch::with_budget(budget)),
         ] {
             let out = optimizer.run(&s.workflow, &model).unwrap();
-            prop_assert!(out.best_cost <= out.initial_cost + 1e-9);
-            prop_assert!(equivalent(&s.workflow, &out.best).unwrap());
+            assert!(out.best_cost <= out.initial_cost + 1e-9, "case {case}");
+            assert!(equivalent(&s.workflow, &out.best).unwrap(), "case {case}");
         }
     }
 }

@@ -1,0 +1,135 @@
+//! Parallel search determinism: for every algorithm and any thread count,
+//! the outcome (best cost, improvement, best-state signature) must be
+//! byte-identical to the forced-sequential run. Parallelism may only change
+//! wall-clock time, never the answer.
+
+use etlopt::core::opt::SearchBudget;
+use etlopt::prelude::*;
+use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+
+/// Assert two outcomes are indistinguishable to a caller.
+fn assert_same_outcome(
+    label: &str,
+    a: &etlopt::core::opt::SearchOutcome,
+    b: &etlopt::core::opt::SearchOutcome,
+) {
+    assert_eq!(
+        a.best_cost.to_bits(),
+        b.best_cost.to_bits(),
+        "{label}: best_cost diverged ({} vs {})",
+        a.best_cost,
+        b.best_cost
+    );
+    assert_eq!(
+        a.improvement_pct().to_bits(),
+        b.improvement_pct().to_bits(),
+        "{label}: improvement diverged"
+    );
+    assert_eq!(
+        a.best.signature(),
+        b.best.signature(),
+        "{label}: best-state signature diverged"
+    );
+    assert_eq!(
+        a.visited_states, b.visited_states,
+        "{label}: visited-state accounting diverged"
+    );
+}
+
+fn scenarios() -> Vec<(String, etlopt::core::workflow::Workflow)> {
+    let mut out = Vec::new();
+    for seed in [3u64, 11, 27] {
+        for category in [SizeCategory::Small, SizeCategory::Medium] {
+            let s = Generator::generate(GeneratorConfig { seed, category });
+            out.push((format!("{} (seed {seed})", s.name), s.workflow));
+        }
+    }
+    out
+}
+
+#[test]
+fn es_parallel_matches_sequential_on_generated_workloads() {
+    let model = RowCountModel::default();
+    for (name, wf) in scenarios() {
+        let seq = ExhaustiveSearch::with_budget(SearchBudget::states(1_500).with_parallelism(1))
+            .run(&wf, &model)
+            .unwrap();
+        let par = ExhaustiveSearch::with_budget(SearchBudget::states(1_500).with_parallelism(4))
+            .run(&wf, &model)
+            .unwrap();
+        assert_same_outcome(&format!("ES on {name}"), &seq, &par);
+    }
+}
+
+#[test]
+fn hs_parallel_matches_sequential_on_generated_workloads() {
+    let model = RowCountModel::default();
+    for (name, wf) in scenarios() {
+        let seq = HeuristicSearch::with_budget(SearchBudget::states(4_000).with_parallelism(1))
+            .run(&wf, &model)
+            .unwrap();
+        let par = HeuristicSearch::with_budget(SearchBudget::states(4_000).with_parallelism(4))
+            .run(&wf, &model)
+            .unwrap();
+        assert_same_outcome(&format!("HS on {name}"), &seq, &par);
+        assert_eq!(seq.phase_stats, par.phase_stats, "HS phases on {name}");
+    }
+}
+
+#[test]
+fn greedy_parallel_matches_sequential_on_generated_workloads() {
+    let model = RowCountModel::default();
+    for (name, wf) in scenarios() {
+        let seq = HsGreedy::with_budget(SearchBudget::states(4_000).with_parallelism(1))
+            .run(&wf, &model)
+            .unwrap();
+        let par = HsGreedy::with_budget(SearchBudget::states(4_000).with_parallelism(4))
+            .run(&wf, &model)
+            .unwrap();
+        assert_same_outcome(&format!("HS-Greedy on {name}"), &seq, &par);
+    }
+}
+
+#[test]
+fn default_parallelism_matches_forced_sequential() {
+    // `parallelism: None` resolves to the machine's available parallelism —
+    // whatever that is, the answer must match the 1-thread run.
+    let model = RowCountModel::default();
+    let s = Generator::generate(GeneratorConfig {
+        seed: 42,
+        category: SizeCategory::Medium,
+    });
+    let auto = ExhaustiveSearch::with_budget(SearchBudget::states(1_500))
+        .run(&s.workflow, &model)
+        .unwrap();
+    let seq = ExhaustiveSearch::with_budget(SearchBudget::states(1_500).with_parallelism(1))
+        .run(&s.workflow, &model)
+        .unwrap();
+    assert_same_outcome("ES auto-vs-1", &auto, &seq);
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    // Two parallel runs with the same knob must agree with each other too
+    // (no dependence on thread scheduling between runs).
+    let model = RowCountModel::default();
+    let s = Generator::generate(GeneratorConfig {
+        seed: 8,
+        category: SizeCategory::Medium,
+    });
+    let budget = SearchBudget::states(2_000).with_parallelism(4);
+    let a = ExhaustiveSearch::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    let b = ExhaustiveSearch::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    assert_same_outcome("ES par-vs-par", &a, &b);
+    let ha = HeuristicSearch::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    let hb = HeuristicSearch::with_budget(budget)
+        .run(&s.workflow, &model)
+        .unwrap();
+    assert_same_outcome("HS par-vs-par", &ha, &hb);
+}
