@@ -1,0 +1,192 @@
+//! Replayable transition chains.
+//!
+//! A chain is a list of [`Step`]s applied to a workflow state in order.
+//! Steps are indices, not node ids, so the same step string replays
+//! deterministically on any regeneration of the same seeded scenario:
+//! `Pick(p)` applies the `p mod n`-th of the `n` currently enumerable
+//! moves, `Faulty(p)` commits the `p mod n`-th faulty-pushdown site
+//! (the deliberately wrong `$2€` rewrite the oracle must catch).
+//!
+//! The textual form is comma-separated: `"12,7,!3"` = pick 12, pick 7,
+//! faulty-pushdown 3. This is what the corpus driver prints for failures
+//! and what `conformance replay --steps` parses back.
+
+use etlopt_core::opt::enumerate_moves;
+use etlopt_core::oracle::{apply_faulty_pushdown, faulty_pushdown_sites};
+use etlopt_core::rng::Rng;
+use etlopt_core::workflow::Workflow;
+
+/// One replayable chain step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Apply the `p mod n`-th enumerated move.
+    Pick(u8),
+    /// Commit the `p mod n`-th faulty-pushdown site.
+    Faulty(u8),
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Pick(p) => write!(f, "{p}"),
+            Step::Faulty(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+/// Render a chain as its comma-separated step string.
+pub fn format_steps(steps: &[Step]) -> String {
+    steps
+        .iter()
+        .map(Step::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a `"12,7,!3"`-style step string.
+pub fn parse_steps(s: &str) -> Result<Vec<Step>, String> {
+    let mut out = Vec::new();
+    for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let (faulty, digits) = match tok.strip_prefix('!') {
+            Some(rest) => (true, rest),
+            None => (false, tok),
+        };
+        let p: u8 = digits
+            .parse()
+            .map_err(|_| format!("bad step `{tok}` (expected 0-255, optionally `!`-prefixed)"))?;
+        out.push(if faulty {
+            Step::Faulty(p)
+        } else {
+            Step::Pick(p)
+        });
+    }
+    Ok(out)
+}
+
+/// The result of replaying a chain.
+#[derive(Debug, Clone)]
+pub struct ChainReplay {
+    /// The final state.
+    pub workflow: Workflow,
+    /// Human-readable description of each step that changed the state.
+    pub applied: Vec<String>,
+    /// How many `Pick` steps had an enumerable move that failed its full
+    /// applicability re-check (legal: `enumerate_moves` is a pre-filter).
+    pub rejected: usize,
+    /// Steps that found nothing to act on (no moves / no faulty sites).
+    pub skipped: usize,
+    /// How many `Faulty` steps actually committed a mutation.
+    pub faulty_applied: usize,
+}
+
+/// Replay `steps` from `wf`. Never fails: a step that cannot act leaves
+/// the state unchanged and is counted in `rejected`/`skipped`, so every
+/// step string is a valid (if possibly benign) chain.
+pub fn replay(wf: &Workflow, steps: &[Step]) -> ChainReplay {
+    let mut cur = wf.clone();
+    let mut out = ChainReplay {
+        workflow: wf.clone(),
+        applied: Vec::new(),
+        rejected: 0,
+        skipped: 0,
+        faulty_applied: 0,
+    };
+    for step in steps {
+        match step {
+            Step::Pick(p) => {
+                let moves = enumerate_moves(&cur).unwrap_or_default();
+                if moves.is_empty() {
+                    out.skipped += 1;
+                    continue;
+                }
+                let mv = moves[*p as usize % moves.len()];
+                match mv.apply(&cur) {
+                    Ok(next) => {
+                        out.applied.push(mv.describe(&cur));
+                        cur = next;
+                    }
+                    Err(_) => out.rejected += 1,
+                }
+            }
+            Step::Faulty(p) => {
+                let sites = faulty_pushdown_sites(&cur).unwrap_or_default();
+                if sites.is_empty() {
+                    out.skipped += 1;
+                    continue;
+                }
+                let site = sites[*p as usize % sites.len()];
+                match apply_faulty_pushdown(&cur, site) {
+                    Ok(next) => {
+                        out.applied.push(format!(
+                            "FAULTY-PUSHDOWN({}, {})",
+                            cur.priority_token(site.filter),
+                            cur.priority_token(site.function),
+                        ));
+                        out.faulty_applied += 1;
+                        cur = next;
+                    }
+                    Err(_) => out.rejected += 1,
+                }
+            }
+        }
+    }
+    out.workflow = cur;
+    out
+}
+
+/// A seeded random chain of `len` picks; with `with_fault`, one pick is
+/// replaced by a faulty-pushdown step at a random position.
+pub fn random_chain(seed: u64, len: usize, with_fault: bool) -> Vec<Step> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut steps: Vec<Step> = (0..len)
+        .map(|_| Step::Pick(rng.gen_range(0..=255u32) as u8))
+        .collect();
+    if with_fault && !steps.is_empty() {
+        let at = rng.gen_range(0..steps.len());
+        steps[at] = Step::Faulty(rng.gen_range(0..=255u32) as u8);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+    #[test]
+    fn steps_round_trip_through_text() {
+        let steps = vec![Step::Pick(12), Step::Faulty(3), Step::Pick(255)];
+        let s = format_steps(&steps);
+        assert_eq!(s, "12,!3,255");
+        assert_eq!(parse_steps(&s).unwrap(), steps);
+        assert!(parse_steps("1,,2").unwrap().len() == 2);
+        assert!(parse_steps("x").is_err());
+        assert!(parse_steps("!999").is_err());
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_equivalence_preserving() {
+        let s = Generator::generate(GeneratorConfig {
+            seed: 7,
+            category: SizeCategory::Small,
+        });
+        let steps = random_chain(99, 8, false);
+        let a = replay(&s.workflow, &steps);
+        let b = replay(&s.workflow, &steps);
+        assert_eq!(a.workflow, b.workflow);
+        assert!(a.faulty_applied == 0);
+        assert!(etlopt_core::postcond::equivalent(&s.workflow, &a.workflow).unwrap());
+    }
+
+    #[test]
+    fn faulty_step_breaks_equivalence_when_a_site_exists() {
+        let s = Generator::generate(GeneratorConfig {
+            seed: 7,
+            category: SizeCategory::Small,
+        });
+        // Generated branch traps guarantee a scale→filter site.
+        let r = replay(&s.workflow, &[Step::Faulty(0)]);
+        assert_eq!(r.faulty_applied, 1, "{r:?}");
+        assert!(!etlopt_core::postcond::equivalent(&s.workflow, &r.workflow).unwrap());
+    }
+}

@@ -1,0 +1,40 @@
+//! Differential conformance harness for the ETL optimizer.
+//!
+//! The post-condition calculus proves transition chains equivalence-
+//! preserving *formally*; this crate proves it *empirically*, the way
+//! Kougka & Gounaris argue reordering optimizers must be trusted: by
+//! executing every optimizer-produced state on the real engine over seeded
+//! data and comparing what actually lands in the warehouse.
+//!
+//! The harness has four parts:
+//!
+//! * [`oracle::Oracle`] — runs an original/candidate pair through
+//!   [`etlopt_engine::Executor`] and demands (a) per-target **multiset
+//!   equality** (row order ignored, surrogate-key columns rank-normalized)
+//!   and (b) that the row-count cost model's predicted cardinalities,
+//!   seeded with the original run's observed selectivities, match the
+//!   engine's observed counts within tolerance;
+//! * [`chain`] — a replayable encoding of transition chains
+//!   (`"12,7,!3"`-style step strings) so any failure is a one-liner to
+//!   reproduce;
+//! * [`minimize`] — a delta-debugging shrinker that reduces a failing
+//!   chain to the fewest steps and the smallest generator size category
+//!   that still fail, and prints the replay command;
+//! * [`corpus`] — the sweep driver: ≥200 seeded scenarios × {ES, HS,
+//!   HS-Greedy, random chains}, summarized into `CONFORMANCE.json`.
+//!
+//! The harness tests itself through deliberate mutations: committing the
+//! paper's `$2€` pushdown error ([`etlopt_core::oracle::apply_faulty_pushdown`])
+//! must trip the oracle.
+
+pub mod chain;
+pub mod corpus;
+pub mod minimize;
+pub mod oracle;
+
+pub use chain::{format_steps, parse_steps, replay, ChainReplay, Step};
+pub use corpus::{
+    mutation_smoke, run_corpus, CorpusConfig, CorpusReport, SmokeReport, SMOKE_SEEDS,
+};
+pub use minimize::{minimize_failure, Repro};
+pub use oracle::{scenario_executor, Failure, Oracle, Verdict};

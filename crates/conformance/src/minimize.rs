@@ -1,0 +1,153 @@
+//! Failure minimization: shrink a failing chain to the smallest repro.
+//!
+//! Two axes are minimized, in order:
+//!
+//! 1. **Steps** — Zeller's ddmin ([`etlopt_core::oracle::ddmin`]) removes
+//!    every chain step that is not needed for the oracle to fail;
+//! 2. **Scenario size** — the generator category is downgraded
+//!    (Large → Medium → Small) as long as the surviving steps still fail
+//!    on the smaller seeded scenario.
+//!
+//! The result is a [`Repro`] whose `command` replays the failure from a
+//! clean checkout: regenerating the scenario from `(seed, category)`,
+//! rebuilding the seeded catalog, replaying the minimized steps and
+//! re-judging with the oracle are all deterministic.
+
+use etlopt_core::oracle::ddmin;
+use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+
+use crate::chain::{format_steps, replay, Step};
+use crate::oracle::{scenario_executor, Oracle};
+
+/// A minimized, replayable failure.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Generator seed of the failing scenario.
+    pub seed: u64,
+    /// Smallest size category that still fails.
+    pub category: SizeCategory,
+    /// Rows per source in the seeded catalog.
+    pub rows_per_source: usize,
+    /// Minimized chain.
+    pub steps: Vec<Step>,
+    /// One-liner that replays the failure.
+    pub command: String,
+}
+
+impl Repro {
+    fn command_for(
+        seed: u64,
+        category: SizeCategory,
+        rows_per_source: usize,
+        steps: &[Step],
+    ) -> String {
+        format!(
+            "cargo run --release --bin conformance -- replay --seed {seed} --category {} --rows {rows_per_source} --steps '{}'",
+            category.label(),
+            format_steps(steps),
+        )
+    }
+}
+
+/// Does this `(seed, category, steps)` triple still fail its oracle?
+/// Scenario, catalog and replay are all regenerated from scratch, so the
+/// predicate is exactly what the replay command will evaluate.
+pub fn chain_fails(
+    seed: u64,
+    category: SizeCategory,
+    rows_per_source: usize,
+    steps: &[Step],
+) -> bool {
+    let s = Generator::generate(GeneratorConfig { seed, category });
+    let exec = scenario_executor(&s.workflow, rows_per_source, seed);
+    let Ok(oracle) = Oracle::new(&s.workflow, exec) else {
+        // An original that cannot execute is itself a (different) bug;
+        // don't attribute it to the chain.
+        return false;
+    };
+    let r = replay(&s.workflow, steps);
+    !oracle.check(&r.workflow).passed()
+}
+
+/// Shrink a failing chain to a minimal [`Repro`]. Returns `None` if the
+/// chain does not actually fail on regeneration (not reproducible — the
+/// caller should report that as its own defect).
+pub fn minimize_failure(
+    seed: u64,
+    category: SizeCategory,
+    rows_per_source: usize,
+    steps: &[Step],
+) -> Option<Repro> {
+    if !chain_fails(seed, category, rows_per_source, steps) {
+        return None;
+    }
+
+    let mut category = category;
+    let mut steps = ddmin(steps, |sub| {
+        chain_fails(seed, category, rows_per_source, sub)
+    });
+
+    // Downgrade the scenario band while the shrunk chain keeps failing,
+    // re-shrinking after each successful downgrade (a smaller workflow may
+    // need even fewer steps).
+    let rank = |c: SizeCategory| match c {
+        SizeCategory::Small => 0u8,
+        SizeCategory::Medium => 1,
+        SizeCategory::Large => 2,
+    };
+    for smaller in [SizeCategory::Medium, SizeCategory::Small] {
+        if rank(smaller) >= rank(category) {
+            continue;
+        }
+        if chain_fails(seed, smaller, rows_per_source, &steps) {
+            category = smaller;
+            steps = ddmin(&steps, |sub| {
+                chain_fails(seed, category, rows_per_source, sub)
+            });
+        }
+    }
+
+    let command = Repro::command_for(seed, category, rows_per_source, &steps);
+    Some(Repro {
+        seed,
+        category,
+        rows_per_source,
+        steps,
+        command,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::parse_steps;
+
+    #[test]
+    fn benign_chains_are_not_reproducible_failures() {
+        let steps = parse_steps("1,2,3").unwrap();
+        assert!(minimize_failure(7, SizeCategory::Small, 64, &steps).is_none());
+    }
+
+    #[test]
+    fn faulty_chain_shrinks_to_the_faulty_core() {
+        // Noise picks around one faulty step: the minimizer must strip the
+        // noise and keep a ≤3-step chain containing the faulty step. Seed 2
+        // is one where the fault is observable on the seeded catalog.
+        let steps = parse_steps("4,9,!0,6,2").unwrap();
+        let repro = minimize_failure(2, SizeCategory::Small, 64, &steps).expect("chain must fail");
+        assert!(
+            repro.steps.len() <= 3,
+            "expected ≤3 steps, got {:?}",
+            repro.steps
+        );
+        assert!(repro.steps.iter().any(|s| matches!(s, Step::Faulty(_))));
+        // The printed command's parameters replay to a failure.
+        assert!(chain_fails(
+            repro.seed,
+            repro.category,
+            repro.rows_per_source,
+            &repro.steps
+        ));
+        assert!(repro.command.contains("--steps"));
+    }
+}

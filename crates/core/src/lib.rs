@@ -60,6 +60,7 @@ pub mod graph;
 pub mod impact;
 pub mod naming;
 pub mod opt;
+pub mod oracle;
 pub mod physical;
 pub mod postcond;
 pub mod predicate;

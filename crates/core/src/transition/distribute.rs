@@ -284,6 +284,36 @@ mod tests {
         assert!(equivalent(&wf, &dis).unwrap());
     }
 
+    /// The `$2€` case for DIS (Fig. 5 lifted to the binary level): a
+    /// selection over the generated euro amount may not be distributed
+    /// above a join — the branch without the dollar→euro function never
+    /// sees `euro_cost`, so the clone's functionality schema would be
+    /// violated there.
+    #[test]
+    fn dollar2euro_selection_cannot_distribute_above_join() {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["pkey", "dollar_cost"]), 8.0);
+        let s2 = b.source("S2", Schema::of(["pkey", "qty"]), 8.0);
+        let f = b.unary(
+            "$2E",
+            UnaryOp::function("dollar2euro", ["dollar_cost"], "euro_cost"),
+            s1,
+        );
+        let j = b.binary("J", BinaryOp::Join(vec!["pkey".into()]), f, s2);
+        let sel = b.unary(
+            "σ(€)",
+            UnaryOp::filter(Predicate::gt("euro_cost", 100.0)),
+            j,
+        );
+        b.target("DW", Schema::of(["pkey", "euro_cost", "qty"]), sel);
+        let wf = b.build().unwrap();
+        let err = Distribute::new(j, sel).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotDistributable { .. }),
+            "{err}"
+        );
+    }
+
     #[test]
     fn self_union_distributes_clones_from_same_provider() {
         let mut b = WorkflowBuilder::new();

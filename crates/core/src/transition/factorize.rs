@@ -377,6 +377,35 @@ mod tests {
         assert!(err.is_err());
     }
 
+    /// The `$2€` case at the binary level (Fig. 5 lifted to FAC): two
+    /// homologous dollar→euro functions may not be factorized below a join
+    /// whose key is the euro amount they generate — the join's
+    /// functionality schema would be consumed before it exists.
+    #[test]
+    fn dollar2euro_cannot_factorize_below_join_on_generated_attribute() {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["pkey", "dollar_cost"]), 8.0);
+        let s2 = b.source("S2", Schema::of(["pkey2", "dollar_cost"]), 8.0);
+        let f1 = b.unary(
+            "$2E",
+            UnaryOp::function("dollar2euro", ["dollar_cost"], "euro_cost"),
+            s1,
+        );
+        let f2 = b.unary(
+            "$2E",
+            UnaryOp::function("dollar2euro", ["dollar_cost"], "euro_cost"),
+            s2,
+        );
+        let j = b.binary("J", BinaryOp::Join(vec!["euro_cost".into()]), f1, f2);
+        b.target("DW", Schema::of(["pkey", "euro_cost", "pkey2"]), j);
+        let wf = b.build().unwrap();
+        let err = Factorize::new(j, f1, f2).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotDistributable { .. }),
+            "{err}"
+        );
+    }
+
     #[test]
     fn describe_uses_paper_notation() {
         let (wf, u, sk1, sk2) = fig4_initial();

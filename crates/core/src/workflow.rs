@@ -124,6 +124,32 @@ impl Workflow {
         Ok(out)
     }
 
+    /// Return a copy with the row estimate of one source recordset replaced
+    /// (the companion statistics hook to [`Workflow::with_selectivity`]:
+    /// actual extract cardinalities from a run can be fed back so the cost
+    /// model prices states against real volumes). Errors if `node` is not a
+    /// recordset; no-op for non-source recordsets, whose cardinality is
+    /// derived.
+    pub fn with_row_estimate(&self, node: NodeId, rows: f64) -> Result<Workflow> {
+        let mut out = self.clone();
+        match out.graph.node_mut(node)? {
+            Node::Recordset(rs) => {
+                if self
+                    .graph
+                    .providers(node)?
+                    .iter()
+                    .flatten()
+                    .next()
+                    .is_none()
+                {
+                    rs.row_estimate = rows;
+                }
+            }
+            Node::Activity(_) => return Err(CoreError::UnknownNode(node)),
+        }
+        Ok(out)
+    }
+
     /// Human-readable rendering: one line per node in topological order,
     /// with priorities, labels, providers and derived schemata.
     pub fn pretty(&self) -> String {
@@ -748,6 +774,31 @@ mod tests {
         // Original untouched; semantics unchanged.
         assert!((wf.graph().activity(nn).unwrap().selectivity() - 0.9).abs() < 1e-12);
         assert!(crate::postcond::equivalent(&wf, &tweaked).unwrap());
+    }
+
+    #[test]
+    fn with_row_estimate_adjusts_sources_only() {
+        let wf = small_converging();
+        let sources = wf.sources();
+        let tweaked = wf.with_row_estimate(sources[0], 777.0).unwrap();
+        assert_eq!(
+            tweaked.graph().recordset(sources[0]).unwrap().row_estimate,
+            777.0
+        );
+        // Original untouched.
+        assert_ne!(
+            wf.graph().recordset(sources[0]).unwrap().row_estimate,
+            777.0
+        );
+        // Derived (target) recordsets keep their estimate; activities error.
+        let target = wf.targets()[0];
+        let same = wf.with_row_estimate(target, 5.0).unwrap();
+        assert_eq!(
+            same.graph().recordset(target).unwrap().row_estimate,
+            wf.graph().recordset(target).unwrap().row_estimate
+        );
+        let act = wf.activities().unwrap()[0];
+        assert!(wf.with_row_estimate(act, 5.0).is_err());
     }
 
     #[test]

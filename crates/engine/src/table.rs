@@ -127,6 +127,42 @@ impl Table {
         t
     }
 
+    /// Replace each listed column's values with dense ranks: distinct
+    /// non-NULL values map to `Int(0), Int(1), …` in [`Scalar::total_cmp`]
+    /// order; NULLs stay NULL. Two runs that assign surrogate keys from
+    /// different counter states (or different lookup-table contents)
+    /// produce rank-identical columns as long as the key structure —
+    /// which source rows share a surrogate, and their relative order —
+    /// matches, so the conformance oracle compares surrogate columns
+    /// rank-normalized instead of byte-for-byte. Columns not present in
+    /// the schema are ignored (a target may project a surrogate out).
+    pub fn rank_normalized(&self, columns: &[Attr]) -> Table {
+        let mut out = self.clone();
+        for attr in columns {
+            let Some(c) = self.schema.index_of(attr) else {
+                continue;
+            };
+            let mut distinct: Vec<&Scalar> = self
+                .rows
+                .iter()
+                .map(|r| &r[c])
+                .filter(|v| !matches!(v, Scalar::Null))
+                .collect();
+            distinct.sort_by(|a, b| a.total_cmp(b));
+            distinct.dedup_by(|a, b| a.total_cmp(b) == Ordering::Equal);
+            for row in &mut out.rows {
+                if matches!(row[c], Scalar::Null) {
+                    continue;
+                }
+                let rank = distinct
+                    .binary_search_by(|v| v.total_cmp(&row[c]))
+                    .unwrap_or_else(|i| i);
+                row[c] = Scalar::Int(rank as i64);
+            }
+        }
+        out
+    }
+
     /// Multiset equality: same attribute set, same bag of rows (column
     /// order normalized, row order ignored).
     pub fn same_bag(&self, other: &Table) -> Result<bool> {
@@ -204,6 +240,50 @@ mod tests {
         let t1 = t(vec![]);
         let t2 = Table::empty(Schema::of(["a", "c"]));
         assert!(!t1.same_bag(&t2).unwrap());
+    }
+
+    #[test]
+    fn rank_normalization_erases_offsets_but_keeps_structure() {
+        // Same key structure under different surrogate numbering:
+        // {10, 10, 30} vs {7, 7, 9} both rank to {0, 0, 1}.
+        let t1 = t(vec![
+            vec![10.into(), "x".into()],
+            vec![10.into(), "y".into()],
+            vec![30.into(), "z".into()],
+        ]);
+        let t2 = t(vec![
+            vec![7.into(), "x".into()],
+            vec![7.into(), "y".into()],
+            vec![9.into(), "z".into()],
+        ]);
+        let cols = [Attr::new("a")];
+        assert!(t1
+            .rank_normalized(&cols)
+            .same_bag(&t2.rank_normalized(&cols))
+            .unwrap());
+        // Different structure (distinct keys collapse) still differs.
+        let t3 = t(vec![
+            vec![7.into(), "x".into()],
+            vec![8.into(), "y".into()],
+            vec![9.into(), "z".into()],
+        ]);
+        assert!(!t1
+            .rank_normalized(&cols)
+            .same_bag(&t3.rank_normalized(&cols))
+            .unwrap());
+    }
+
+    #[test]
+    fn rank_normalization_preserves_nulls_and_skips_missing_columns() {
+        let table = t(vec![
+            vec![Scalar::Null, "x".into()],
+            vec![5.into(), "y".into()],
+        ]);
+        let norm = table.rank_normalized(&[Attr::new("a"), Attr::new("zzz")]);
+        assert_eq!(norm.rows()[0][0], Scalar::Null);
+        assert_eq!(norm.rows()[1][0], Scalar::Int(0));
+        // Untouched column intact.
+        assert_eq!(norm.rows()[0][1], Scalar::from("x"));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Differential conformance driver.
+//!
+//! ```text
+//! conformance sweep  [--base-seed N] [--small N] [--medium N] [--large N]
+//!                    [--rows N] [--states N] [--parallelism N] [--chain-len N]
+//!                    [--out FILE] [--bench FILE]
+//! conformance replay --seed N --category small|medium|large --steps S
+//!                    [--rows N]
+//! ```
+//!
+//! `sweep` generates the seeded scenario corpus, judges every search
+//! algorithm's best state plus one random transition chain per scenario
+//! with the execution-backed oracle, runs the mutation smoke-test, shrinks
+//! any failing chain to a replayable repro, and writes `CONFORMANCE.json`
+//! (full report) and `BENCH_conformance.json` (runtime + pass-rate
+//! headline). Exit code 1 on any conformance failure.
+//!
+//! `replay` re-executes one chain — typically a minimizer-printed repro —
+//! and reports the oracle's verdict. Exit code 1 if the oracle fails the
+//! replayed state.
+
+use std::process::ExitCode;
+
+use etlopt::conformance::{
+    format_steps, minimize_failure, mutation_smoke, parse_steps, replay, run_corpus,
+    scenario_executor, CorpusConfig, Oracle,
+};
+use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn parse_category(s: &str) -> Result<SizeCategory, String> {
+    match s {
+        "small" => Ok(SizeCategory::Small),
+        "medium" => Ok(SizeCategory::Medium),
+        "large" => Ok(SizeCategory::Large),
+        other => Err(format!("unknown category `{other}`")),
+    }
+}
+
+/// Minimal `--flag value` parser over the remaining args.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn take(&mut self, name: &str) -> Option<String> {
+        let pos = self.0.iter().position(|a| a == name)?;
+        if pos + 1 >= self.0.len() {
+            return None;
+        }
+        let value = self.0.remove(pos + 1);
+        self.0.remove(pos);
+        Some(value)
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.take(name) {
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    fn ensure_empty(&self) -> Result<(), String> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {:?}", self.0))
+        }
+    }
+}
+
+fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
+    let defaults = CorpusConfig::default();
+    let cfg = CorpusConfig {
+        base_seed: flags.take_parsed("--base-seed", defaults.base_seed)?,
+        small: flags.take_parsed("--small", defaults.small)?,
+        medium: flags.take_parsed("--medium", defaults.medium)?,
+        large: flags.take_parsed("--large", defaults.large)?,
+        rows_per_source: flags.take_parsed("--rows", defaults.rows_per_source)?,
+        search_states: flags.take_parsed("--states", defaults.search_states)?,
+        parallelism: flags.take_parsed("--parallelism", defaults.parallelism)?,
+        chain_len: flags.take_parsed("--chain-len", defaults.chain_len)?,
+    };
+    let out_path = flags
+        .take("--out")
+        .unwrap_or_else(|| "CONFORMANCE.json".to_owned());
+    let bench_path = flags
+        .take("--bench")
+        .unwrap_or_else(|| "BENCH_conformance.json".to_owned());
+    flags.ensure_empty()?;
+
+    eprintln!(
+        "sweeping {} scenarios ({} small / {} medium / {} large), \
+         {} search states, parallelism {}…",
+        cfg.scenarios(),
+        cfg.small,
+        cfg.medium,
+        cfg.large,
+        cfg.search_states,
+        cfg.parallelism,
+    );
+
+    let report = run_corpus(&cfg, |done, total, name| {
+        if done % 25 == 0 || done == total {
+            eprintln!("  [{done}/{total}] {name}");
+        }
+    });
+
+    let smoke = mutation_smoke(cfg.rows_per_source);
+    eprintln!(
+        "mutation smoke: {}/{} injected faults caught",
+        smoke.caught, smoke.injected
+    );
+
+    std::fs::write(&out_path, report.to_json()).map_err(|e| format!("write {out_path}: {e}"))?;
+
+    let bench = format!(
+        concat!(
+            "{{\n",
+            "  \"scenarios\": {},\n",
+            "  \"checks\": {},\n",
+            "  \"pass_rate\": {:.4},\n",
+            "  \"activity_warnings\": {},\n",
+            "  \"mutation_smoke\": {{\"injected\": {}, \"caught\": {}}},\n",
+            "  \"sweep_secs\": {:.2},\n",
+            "  \"checks_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        report.scenarios.len(),
+        report.checks,
+        report.pass_rate(),
+        report.warnings,
+        smoke.injected,
+        smoke.caught,
+        report.elapsed_secs,
+        report.checks as f64 / report.elapsed_secs.max(1e-9),
+    );
+    std::fs::write(&bench_path, &bench).map_err(|e| format!("write {bench_path}: {e}"))?;
+    print!("{bench}");
+
+    let mut failed = false;
+    if !report.failed.is_empty() {
+        failed = true;
+        eprintln!("{} conformance failures:", report.failed.len());
+        for f in &report.failed {
+            eprintln!("  {} [{}] {}", f.scenario, f.kind, f.failures.join("; "));
+            if let Some(repro) = &f.repro {
+                eprintln!("    repro: {repro}");
+            }
+        }
+    }
+    if !smoke.escaped.is_empty() {
+        failed = true;
+        eprintln!(
+            "mutation smoke FAILURE: faults escaped the oracle at seeds {:?}",
+            smoke.escaped
+        );
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn replay_cmd(mut flags: Flags) -> Result<ExitCode, String> {
+    let seed: u64 = flags
+        .take("--seed")
+        .ok_or("--seed is required")?
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let category = parse_category(&flags.take("--category").ok_or("--category is required")?)?;
+    let steps = parse_steps(&flags.take("--steps").ok_or("--steps is required")?)?;
+    let rows: usize = flags.take_parsed("--rows", 64)?;
+    let minimize = flags.take("--minimize").is_some_and(|v| v == "true");
+    flags.ensure_empty()?;
+
+    let s = Generator::generate(GeneratorConfig { seed, category });
+    let exec = scenario_executor(&s.workflow, rows, seed);
+    let oracle = Oracle::new(&s.workflow, exec).map_err(|e| format!("original failed: {e}"))?;
+    let r = replay(&s.workflow, &steps);
+    eprintln!(
+        "replayed {} steps on {} ({} applied, {} rejected, {} skipped, {} faulty)",
+        steps.len(),
+        s.name,
+        r.applied.len(),
+        r.rejected,
+        r.skipped,
+        r.faulty_applied,
+    );
+    for line in &r.applied {
+        eprintln!("  {line}");
+    }
+    let v = oracle.check(&r.workflow);
+    if v.passed() {
+        println!(
+            "PASS: state conforms ({} activity warnings)",
+            v.warnings.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("FAIL:");
+        for line in v.failure_lines() {
+            println!("  {line}");
+        }
+        if minimize {
+            match minimize_failure(seed, category, rows, &steps) {
+                Some(repro) => println!(
+                    "minimized to {} step(s): {}\n{}",
+                    repro.steps.len(),
+                    format_steps(&repro.steps),
+                    repro.command
+                ),
+                None => println!("failure did not reproduce under regeneration"),
+            }
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = if args.is_empty() {
+        "sweep".to_owned()
+    } else {
+        args.remove(0)
+    };
+    let result = match cmd.as_str() {
+        "sweep" => sweep(Flags(args)),
+        "replay" => replay_cmd(Flags(args)),
+        other => Err(format!(
+            "unknown command `{other}` (expected `sweep` or `replay`)"
+        )),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,7 +16,11 @@
 //!   empirically;
 //! * [`workload`] (`etlopt-workload`) — the paper's running example
 //!   (Fig. 1) and the seeded generator behind the evaluation's 40
-//!   scenarios.
+//!   scenarios;
+//! * [`conformance`] (`etlopt-conformance`) — the differential
+//!   conformance harness: an execution-backed equivalence oracle, a
+//!   replayable-chain corpus sweep and a delta-debugging failure
+//!   minimizer (see the `conformance` binary and `CONFORMANCE.json`).
 //!
 //! ## Quickstart
 //!
@@ -32,6 +36,7 @@
 //! assert!(outcome.best_cost < outcome.initial_cost);
 //! ```
 
+pub use etlopt_conformance as conformance;
 pub use etlopt_core as core;
 pub use etlopt_engine as engine;
 pub use etlopt_workload as workload;

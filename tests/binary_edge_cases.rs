@@ -1,0 +1,170 @@
+//! Binary-activity edge cases for FAC/DIS (§3.3): union vs. join, shared
+//! vs. disjoint provider branches, and the degenerate single-branch
+//! shapes. Every legal transition is checked both formally (post-condition
+//! calculus) and empirically (the engine loads identical warehouse
+//! contents over seeded data); every illegal one must be rejected with the
+//! right error.
+
+use etlopt::core::postcond::equivalent;
+use etlopt::core::transition::{Distribute, Factorize, Transition, TransitionError};
+use etlopt::engine::equivalent_execution;
+use etlopt::prelude::*;
+use etlopt::workload::datagen;
+
+fn assert_engine_equivalent(original: &Workflow, candidate: &Workflow, seed: u64) {
+    let catalog = datagen::catalog_for(original, 96, seed);
+    let exec = Executor::new(catalog);
+    assert!(
+        equivalent(original, candidate).unwrap(),
+        "formal equivalence"
+    );
+    assert!(
+        equivalent_execution(&exec, original, candidate).unwrap(),
+        "empirical equivalence"
+    );
+}
+
+/// Union over two *disjoint* source branches: DIS clones the joint filter
+/// into both branches, FAC of the clones restores the signature, and both
+/// directions load identical warehouse contents.
+#[test]
+fn union_disjoint_branches_dis_fac_roundtrip() {
+    let mut b = WorkflowBuilder::new();
+    let s1 = b.source("S1", Schema::of(["pkey", "cost"]), 8.0);
+    let s2 = b.source("S2", Schema::of(["pkey", "cost"]), 8.0);
+    let u = b.binary("U", BinaryOp::Union, s1, s2);
+    let sel = b.unary(
+        "σ",
+        UnaryOp::filter(Predicate::gt("cost", 250.0)).with_selectivity(0.5),
+        u,
+    );
+    b.target("DW", Schema::of(["pkey", "cost"]), sel);
+    let wf = b.build().unwrap();
+
+    let dis = Distribute::new(u, sel).apply(&wf).unwrap();
+    assert_engine_equivalent(&wf, &dis, 0xB1);
+
+    let c1 = dis.graph().provider(u, 0).unwrap().unwrap();
+    let c2 = dis.graph().provider(u, 1).unwrap().unwrap();
+    let fac = Factorize::new(u, c1, c2).apply(&dis).unwrap();
+    assert_eq!(wf.signature(), fac.signature());
+    assert_engine_equivalent(&wf, &fac, 0xB2);
+}
+
+/// Join with disjoint branches: a filter over the join key crosses in both
+/// directions (FAC pulls homologous key filters below, DIS pushes the
+/// joint key filter above) and stays engine-equivalent.
+#[test]
+fn join_disjoint_branches_key_filter_crosses_both_ways() {
+    let mut b = WorkflowBuilder::new();
+    let s1 = b.source("S1", Schema::of(["pkey", "cost"]), 8.0);
+    let s2 = b.source("S2", Schema::of(["pkey", "qty"]), 8.0);
+    let j = b.binary("J", BinaryOp::Join(vec!["pkey".into()]), s1, s2);
+    let sel = b.unary(
+        "σ(key)",
+        UnaryOp::filter(Predicate::gt("pkey", 300.0)).with_selectivity(0.5),
+        j,
+    );
+    b.target("DW", Schema::of(["pkey", "cost", "qty"]), sel);
+    let wf = b.build().unwrap();
+
+    let dis = Distribute::new(j, sel).apply(&wf).unwrap();
+    assert_engine_equivalent(&wf, &dis, 0xB3);
+
+    let c1 = dis.graph().provider(j, 0).unwrap().unwrap();
+    let c2 = dis.graph().provider(j, 1).unwrap().unwrap();
+    let fac = Factorize::new(j, c1, c2).apply(&dis).unwrap();
+    assert_eq!(wf.signature(), fac.signature());
+    assert_engine_equivalent(&wf, &fac, 0xB4);
+}
+
+/// Join: a filter over a non-key attribute must NOT distribute — the other
+/// branch never carries that attribute.
+#[test]
+fn join_value_filter_cannot_distribute() {
+    let mut b = WorkflowBuilder::new();
+    let s1 = b.source("S1", Schema::of(["pkey", "cost"]), 8.0);
+    let s2 = b.source("S2", Schema::of(["pkey", "qty"]), 8.0);
+    let j = b.binary("J", BinaryOp::Join(vec!["pkey".into()]), s1, s2);
+    let sel = b.unary("σ(cost)", UnaryOp::filter(Predicate::gt("cost", 250.0)), j);
+    b.target("DW", Schema::of(["pkey", "cost", "qty"]), sel);
+    let wf = b.build().unwrap();
+    let err = Distribute::new(j, sel).apply(&wf).unwrap_err();
+    assert!(
+        matches!(err, TransitionError::NotDistributable { .. }),
+        "{err}"
+    );
+}
+
+/// Shared provider: both union ports fed by the *same* node (self-union,
+/// doubling the bag). DIS clones the joint filter onto both ports — the
+/// clones share the provider — and the engine agrees nothing changed.
+#[test]
+fn shared_provider_self_union_dis_fac_roundtrip() {
+    let mut b = WorkflowBuilder::new();
+    let s = b.source("S", Schema::of(["pkey", "cost"]), 8.0);
+    let u = b.binary("U", BinaryOp::Union, s, s);
+    let sel = b.unary(
+        "σ",
+        UnaryOp::filter(Predicate::gt("cost", 400.0)).with_selectivity(0.5),
+        u,
+    );
+    b.target("DW", Schema::of(["pkey", "cost"]), sel);
+    let wf = b.build().unwrap();
+
+    let dis = Distribute::new(u, sel).apply(&wf).unwrap();
+    // Both clones hang off the same shared source.
+    assert_eq!(dis.graph().consumers(s).unwrap().len(), 2);
+    assert_engine_equivalent(&wf, &dis, 0xB5);
+
+    let c1 = dis.graph().provider(u, 0).unwrap().unwrap();
+    let c2 = dis.graph().provider(u, 1).unwrap().unwrap();
+    let fac = Factorize::new(u, c1, c2).apply(&dis).unwrap();
+    assert_eq!(wf.signature(), fac.signature());
+    assert_engine_equivalent(&wf, &fac, 0xB6);
+}
+
+/// Degenerate single-branch FAC: one activity feeding *both* ports of the
+/// binary is not a homologous pair — `FAC(u, a, a)` must be refused, not
+/// silently remove the only branch.
+#[test]
+fn degenerate_single_branch_factorize_is_rejected() {
+    let mut b = WorkflowBuilder::new();
+    let s = b.source("S", Schema::of(["pkey", "cost"]), 8.0);
+    let sel = b.unary(
+        "σ",
+        UnaryOp::filter(Predicate::gt("cost", 250.0)).with_selectivity(0.5),
+        s,
+    );
+    let u = b.binary("U", BinaryOp::Union, sel, sel);
+    b.target("DW", Schema::of(["pkey", "cost"]), u);
+    let wf = b.build().unwrap();
+    let err = Factorize::new(u, sel, sel).apply(&wf).unwrap_err();
+    assert!(matches!(err, TransitionError::NotHomologous(_, _)), "{err}");
+}
+
+/// Degenerate single-branch DIS: distributing across a self-union whose
+/// single branch already carries the activity. The clones both land on the
+/// same branch point; equivalence must still hold on real rows.
+#[test]
+fn degenerate_single_branch_distribute_stays_equivalent() {
+    let mut b = WorkflowBuilder::new();
+    let s = b.source("S", Schema::of(["pkey", "cost"]), 8.0);
+    let sel = b.unary(
+        "σ(pre)",
+        UnaryOp::filter(Predicate::gt("pkey", 200.0)).with_selectivity(0.5),
+        s,
+    );
+    let u = b.binary("U", BinaryOp::Union, sel, sel);
+    let post = b.unary(
+        "σ(post)",
+        UnaryOp::filter(Predicate::gt("cost", 600.0)).with_selectivity(0.4),
+        u,
+    );
+    b.target("DW", Schema::of(["pkey", "cost"]), post);
+    let wf = b.build().unwrap();
+
+    let dis = Distribute::new(u, post).apply(&wf).unwrap();
+    assert_eq!(dis.graph().consumers(sel).unwrap().len(), 2);
+    assert_engine_equivalent(&wf, &dis, 0xB7);
+}

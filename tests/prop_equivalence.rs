@@ -10,22 +10,66 @@ use etlopt::prelude::*;
 use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
 
 /// Walk a pseudo-random path through the state space, returning the final
-/// state and how many transitions were applied.
-fn random_walk(wf: &Workflow, picks: &[u8]) -> (Workflow, usize) {
+/// state, how many transitions were applied and how many *enumerated*
+/// moves failed their full applicability re-check. Rejections are counted,
+/// not swallowed: `enumerate_moves` is a structural pre-filter, so some
+/// rejection is expected (commute checks run only in `apply`), but a
+/// collapsing applicability rate means enumeration and application have
+/// drifted apart — a bug this suite asserts against below.
+fn random_walk(wf: &Workflow, picks: &[u8]) -> (Workflow, usize, usize) {
     let mut cur = wf.clone();
     let mut applied = 0;
+    let mut rejected = 0;
     for &p in picks {
         let moves = enumerate_moves(&cur).unwrap();
         if moves.is_empty() {
             break;
         }
         let mv = moves[p as usize % moves.len()];
-        if let Ok(next) = mv.apply(&cur) {
-            cur = next;
-            applied += 1;
+        match mv.apply(&cur) {
+            Ok(next) => {
+                cur = next;
+                applied += 1;
+            }
+            Err(_) => rejected += 1,
         }
     }
-    (cur, applied)
+    (cur, applied, rejected)
+}
+
+/// Minimum fraction of attempted (enumerated, picked) moves that must
+/// survive the full `apply` re-check, measured across the whole suite of
+/// seeded walks. Measured applicability sits well above this (~0.81); the floor
+/// trips if `enumerate_moves` starts over-promising (or `apply` starts
+/// over-rejecting) — previously such drift was silently swallowed.
+const APPLICABILITY_FLOOR: f64 = 0.60;
+
+/// Enumerated moves must overwhelmingly survive their full applicability
+/// re-check.
+#[test]
+fn enumerated_moves_mostly_apply() {
+    let mut applied_total = 0usize;
+    let mut rejected_total = 0usize;
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0707);
+        let seed = rng.gen_range(0..400u64);
+        let picks = picks(&mut rng, 8);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
+        let (_, applied, rejected) = random_walk(&s.workflow, &picks);
+        applied_total += applied;
+        rejected_total += rejected;
+    }
+    let attempted = applied_total + rejected_total;
+    assert!(attempted > 50, "suite too small to measure ({attempted})");
+    let rate = applied_total as f64 / attempted as f64;
+    assert!(
+        rate >= APPLICABILITY_FLOOR,
+        "applicability rate collapsed: {applied_total}/{attempted} = {rate:.2} \
+         (floor {APPLICABILITY_FLOOR}) — enumerate_moves and apply have drifted apart"
+    );
 }
 
 fn picks(rng: &mut Rng, max_len: usize) -> Vec<u8> {
@@ -45,7 +89,7 @@ fn random_walks_preserve_formal_equivalence() {
             seed,
             category: SizeCategory::Small,
         });
-        let (end, applied) = random_walk(&s.workflow, &picks);
+        let (end, applied, _) = random_walk(&s.workflow, &picks);
         assert!(equivalent(&s.workflow, &end).unwrap(), "case {case}");
         if applied > 0 {
             assert!(end.validate().is_ok(), "case {case}");
@@ -65,7 +109,7 @@ fn random_walks_preserve_empirical_equivalence() {
             seed,
             category: SizeCategory::Small,
         });
-        let (end, _) = random_walk(&s.workflow, &picks);
+        let (end, _, _) = random_walk(&s.workflow, &picks);
         let catalog = datagen::catalog_for(&s.workflow, 120, seed ^ 0xabcd);
         let exec = Executor::new(catalog);
         assert!(
@@ -115,8 +159,8 @@ fn equal_signatures_mean_equal_costs() {
             seed,
             category: SizeCategory::Small,
         });
-        let (a, _) = random_walk(&s.workflow, &picks_a);
-        let (b, _) = random_walk(&s.workflow, &picks_b);
+        let (a, _, _) = random_walk(&s.workflow, &picks_a);
+        let (b, _, _) = random_walk(&s.workflow, &picks_b);
         if a.signature() == b.signature() {
             let model = RowCountModel::default();
             assert!(
@@ -141,7 +185,7 @@ fn fingerprint_equality_implies_signature_equality() {
             seed,
             category: SizeCategory::Small,
         });
-        let (end, _) = random_walk(&s.workflow, &picks);
+        let (end, _, _) = random_walk(&s.workflow, &picks);
         states.push(s.workflow);
         states.push(end);
     }
