@@ -100,6 +100,67 @@ pub trait CostModel: Sync {
         })
     }
 
+    /// Whether [`CostModel::price`] / [`CostModel::reprice_from`] agree
+    /// with this model's notion of state cost. The default (generic
+    /// per-activity summation) holds for any model whose `cost` is the sum
+    /// of `activity_cost` over the propagated row counts; a model that
+    /// overrides `cost` with something richer (e.g. the physical planner)
+    /// must return `false` so the searches fall back to full `cost` calls.
+    fn supports_delta(&self) -> bool {
+        true
+    }
+
+    /// Full slot-indexed pricing of a state — the from-scratch twin of
+    /// [`CostModel::reprice_from`]. Same totals as [`CostModel::cost`] up to
+    /// summation order: `price` totals are summed in *slot* order over the
+    /// live graph so that a delta reprice (which reuses parent values
+    /// bit-for-bit) reproduces the exact same `f64`, keeping comparisons
+    /// stable no matter how a state was reached.
+    fn price(&self, wf: &Workflow) -> Result<CostVec> {
+        let graph = wf.graph();
+        let order = graph.topo_order()?;
+        let mut cv = CostVec::zeroed(graph.slot_capacity());
+        for &id in &order {
+            price_node(self, wf, id, &mut cv)?;
+        }
+        cv.total = cv.sum_live(wf);
+        Ok(cv)
+    }
+
+    /// Delta costing (§4.1, tentpole form): given the parent state's
+    /// [`CostVec`] and the *dirty* node list — [`schema_gen::downstream_of`]
+    /// of the transition's affected nodes, evaluated on the successor graph
+    /// — recompute rows and cost only along that list. Untouched nodes keep
+    /// the parent's values verbatim, which is exact (not approximate):
+    /// every node's rows/cost is a pure function of its providers', and
+    /// transitions report `affected` sets whose downstream closure covers
+    /// every node whose providers changed, including freed arena slots that
+    /// a FAC/DIS re-populated.
+    fn reprice_from(
+        &self,
+        wf: &Workflow,
+        parent: &CostVec,
+        dirty_roots: &[NodeId],
+    ) -> Result<CostVec> {
+        let dirty = schema_gen::downstream_of(wf.graph(), dirty_roots)?;
+        self.reprice_along(wf, parent, &dirty)
+    }
+
+    /// [`CostModel::reprice_from`] with the dirty list precomputed — the
+    /// search hot path, which shares one `downstream_of` walk between
+    /// repricing and incremental fingerprinting.
+    fn reprice_along(&self, wf: &Workflow, parent: &CostVec, dirty: &[NodeId]) -> Result<CostVec> {
+        let graph = wf.graph();
+        let mut cv = parent.clone();
+        cv.rows.resize(graph.slot_capacity(), 0.0);
+        cv.node_cost.resize(graph.slot_capacity(), 0.0);
+        for &id in dirty {
+            price_node(self, wf, id, &mut cv)?;
+        }
+        cv.total = cv.sum_live(wf);
+        Ok(cv)
+    }
+
     /// Semi-incremental costing (§4.1): given the report of a previous,
     /// structurally similar state and the nodes a transition touched,
     /// recompute only the affected nodes and everything downstream of them;
@@ -136,6 +197,101 @@ pub trait CostModel: Sync {
             per_node,
             rows,
         })
+    }
+}
+
+/// Price one node into the flat tables: rows out of the node, plus its
+/// activity cost. Recordsets are explicitly priced at 0.0 — a reused arena
+/// slot may have held an activity in the parent state, and its stale cost
+/// must not leak into the slot-order total.
+fn price_node<M: CostModel + ?Sized>(
+    model: &M,
+    wf: &Workflow,
+    id: NodeId,
+    cv: &mut CostVec,
+) -> Result<()> {
+    let graph = wf.graph();
+    let slot = id.0 as usize;
+    let out_rows = match graph.node(id)? {
+        Node::Recordset(r) => {
+            cv.node_cost[slot] = 0.0;
+            match graph.provider(id, 0)? {
+                None => r.row_estimate,
+                Some(p) => cv.rows[p.0 as usize],
+            }
+        }
+        Node::Activity(a) => {
+            let providers = graph.providers(id)?;
+            let in0 = providers
+                .first()
+                .copied()
+                .flatten()
+                .map(|p| cv.rows[p.0 as usize])
+                .unwrap_or(0.0);
+            match &a.op {
+                crate::activity::Op::Binary(b) => {
+                    let in1 = providers
+                        .get(1)
+                        .copied()
+                        .flatten()
+                        .map(|p| cv.rows[p.0 as usize])
+                        .unwrap_or(0.0);
+                    cv.node_cost[slot] = model.activity_cost(a, &[in0, in1]);
+                    binary_cardinality(b, in0, in1)
+                }
+                _ => {
+                    cv.node_cost[slot] = model.activity_cost(a, &[in0]);
+                    in0 * a.selectivity()
+                }
+            }
+        }
+    };
+    cv.rows[slot] = out_rows;
+    Ok(())
+}
+
+/// Flat, slot-indexed pricing of a state — the delta-costing companion of
+/// [`CostReport`]. Indexed by arena slot; dead slots carry stale values
+/// that are never read (only live providers are consulted, and the total
+/// sums live activities only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostVec {
+    /// Total state cost `C(S)`, summed over live activities in slot order.
+    pub total: f64,
+    rows: Vec<f64>,
+    node_cost: Vec<f64>,
+}
+
+impl CostVec {
+    fn zeroed(cap: usize) -> CostVec {
+        CostVec {
+            total: 0.0,
+            rows: vec![0.0; cap],
+            node_cost: vec![0.0; cap],
+        }
+    }
+
+    /// Rows flowing out of `id` (0.0 for ids this vec never priced).
+    pub fn rows_out(&self, id: NodeId) -> f64 {
+        self.rows.get(id.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Cost charged to `id` (0.0 for recordsets and unpriced ids).
+    pub fn node_cost(&self, id: NodeId) -> f64 {
+        self.node_cost.get(id.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Slot-order sum over the live graph. Both `price` and `reprice_along`
+    /// finish with this, so a delta-repriced state and a from-scratch one
+    /// produce bit-identical totals (same addends, same order).
+    fn sum_live(&self, wf: &Workflow) -> f64 {
+        let mut total = 0.0;
+        for (id, node) in wf.graph().iter() {
+            if matches!(node, Node::Activity(_)) {
+                total += self.node_cost[id.0 as usize];
+            }
+        }
+        total
     }
 }
 

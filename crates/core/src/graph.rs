@@ -226,6 +226,13 @@ impl Graph {
         self.len() == 0
     }
 
+    /// Number of arena slots (live **or** freed). Slot-indexed side tables
+    /// (row counts, per-node hashes) size themselves by this, so a `NodeId`
+    /// of any live node is always in bounds.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Number of live activity nodes.
     pub fn activity_count(&self) -> usize {
         self.iter()

@@ -1,0 +1,114 @@
+//! Incremental state evaluation: the carrier that makes state expansion
+//! O(affected subgraph) instead of O(whole workflow).
+//!
+//! Every search state is paired with its flat per-node pricing
+//! ([`CostVec`]) and per-node structural hashes ([`NodeHashes`]). Expanding
+//! a state then costs one transition `apply`, one `downstream_of` walk over
+//! the dirty subgraph (shared between repricing and rehashing), and a
+//! handful of per-node recomputations — everything upstream and on sibling
+//! branches is reused from the parent bit-for-bit, so delta-evaluated
+//! totals and fingerprints are *exactly* equal to from-scratch ones (pinned
+//! by the equivalence property tests).
+//!
+//! Models that override [`CostModel::cost`] with something richer than the
+//! per-activity summation (`supports_delta() == false`, e.g. the physical
+//! planner) fall back to full `cost` + scratch fingerprint per state — same
+//! results as before, just without the shortcut.
+
+use crate::cost::{CostModel, CostVec};
+use crate::error::Result;
+use crate::graph::NodeId;
+use crate::opt::Move;
+use crate::schema_gen;
+use crate::signature::{self, NodeHashes};
+use crate::transition::Transition;
+use crate::workflow::Workflow;
+
+/// A search state with everything needed to expand it incrementally.
+#[derive(Debug, Clone)]
+pub(crate) struct EvalState {
+    /// The state itself.
+    pub wf: Workflow,
+    /// Total state cost (delta-maintained when the model supports it).
+    pub total: f64,
+    /// State fingerprint (keys the visited sets).
+    pub fp: u128,
+    /// Per-node pricing + hashes; `None` in the full-evaluation fallback.
+    detail: Option<(CostVec, NodeHashes)>,
+}
+
+impl EvalState {
+    /// Evaluate a state from scratch.
+    pub fn full(wf: Workflow, model: &dyn CostModel) -> Result<EvalState> {
+        if model.supports_delta() {
+            let cost = model.price(&wf)?;
+            let (hashes, fp) = signature::hash_state(&wf);
+            Ok(EvalState {
+                total: cost.total,
+                fp,
+                detail: Some((cost, hashes)),
+                wf,
+            })
+        } else {
+            let total = model.cost(&wf)?;
+            let fp = wf.fingerprint();
+            Ok(EvalState {
+                wf,
+                total,
+                fp,
+                detail: None,
+            })
+        }
+    }
+
+    /// Expand one enumerated [`Move`]; `None` when it does not apply.
+    pub fn step_move(&self, mv: &Move, model: &dyn CostModel) -> Option<Result<EvalState>> {
+        let next = mv.apply(&self.wf).ok()?;
+        Some(self.step_applied(next, &mv.affected(&self.wf), model))
+    }
+
+    /// Expand one [`Transition`]; `None` when it does not apply.
+    pub fn step_transition<T: Transition>(
+        &self,
+        t: &T,
+        model: &dyn CostModel,
+    ) -> Option<Result<EvalState>> {
+        let next = t.apply(&self.wf).ok()?;
+        Some(self.step_applied(next, &t.affected(&self.wf), model))
+    }
+
+    /// Price and fingerprint an already-applied successor, reusing this
+    /// state's tables along the dirty downstream path.
+    fn step_applied(
+        &self,
+        next: Workflow,
+        affected: &[NodeId],
+        model: &dyn CostModel,
+    ) -> Result<EvalState> {
+        let Some((cost, hashes)) = &self.detail else {
+            return EvalState::full(next, model);
+        };
+        // One dirty walk, shared by repricing and rehashing.
+        let dirty = schema_gen::downstream_of(next.graph(), affected)?;
+        let cost = model.reprice_along(&next, cost, &dirty)?;
+        let (hashes, fp) = signature::rehash_along(&next, hashes, &dirty);
+        Ok(EvalState {
+            total: cost.total,
+            fp,
+            detail: Some((cost, hashes)),
+            wf: next,
+        })
+    }
+}
+
+/// Total state cost through the same summation the delta path uses:
+/// slot-order `price` totals for delta-capable models, full `cost`
+/// otherwise. Search phases that evaluate states from scratch rank with
+/// this so their totals compare bit-exactly against delta-maintained ones.
+pub(crate) fn state_total(model: &dyn CostModel, wf: &Workflow) -> Result<f64> {
+    if model.supports_delta() {
+        Ok(model.price(wf)?.total)
+    } else {
+        model.cost(wf)
+    }
+}

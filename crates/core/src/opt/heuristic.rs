@@ -24,7 +24,7 @@ use crate::activity::ActivityId;
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::graph::NodeId;
-use crate::opt::{Optimizer, Pacer, SearchBudget, SearchOutcome, Threads};
+use crate::opt::{state_total, EvalState, Optimizer, Pacer, SearchBudget, SearchOutcome, Threads};
 use crate::transition::{Distribute, Factorize, Merge, Swap, Transition};
 use crate::workflow::Workflow;
 
@@ -32,8 +32,11 @@ use crate::workflow::Workflow;
 /// fingerprint, the state itself, and its (possibly failed) model cost.
 /// `None` when the candidate move did not apply. Errors are deferred to the
 /// coordinator so they surface exactly when the sequential code would have
-/// hit them.
+/// hit them. The swap phases carry full [`EvalState`]s instead, so swaps —
+/// the bulk of all generated states — are delta-priced and incrementally
+/// fingerprinted against their parent.
 type Eval = Option<(u128, Workflow, Result<f64>)>;
+type DeltaEval = Option<Result<EvalState>>;
 
 /// The HS algorithm (Fig. 7).
 #[derive(Debug, Clone, Default)]
@@ -156,11 +159,6 @@ impl<'m> Runner<'m> {
         }
     }
 
-    fn cost(&mut self, wf: &Workflow) -> Result<f64> {
-        self.record_fp(wf.fingerprint());
-        self.model.cost(wf)
-    }
-
     fn out_of_budget(&mut self) -> bool {
         if self.visited_states >= self.budget.max_states {
             self.budget_exhausted = true;
@@ -173,7 +171,7 @@ impl<'m> Runner<'m> {
         wf: &Workflow,
         merge_constraints: &[(NodeId, NodeId)],
     ) -> Result<SearchOutcome> {
-        let initial_cost = self.model.cost(wf)?;
+        let initial_cost = state_total(self.model, wf)?;
 
         // Pre-processing (Fig. 7 lines 4-8): apply all MER per constraints…
         let mut s0 = wf.clone();
@@ -206,8 +204,10 @@ impl<'m> Runner<'m> {
         // boundaries re-sample unconditionally so a slow phase cannot hide
         // a blown time budget from the next one.
         let mut phase_stats: Vec<crate::opt::PhaseStat> = Vec::new();
-        let mut smin = self.phase_swaps(&s0)?;
-        let mut smin_cost = self.cost(&smin)?;
+        let smin_state = self.phase_swaps(EvalState::full(s0.clone(), self.model)?)?;
+        self.record_fp(smin_state.fp);
+        let mut smin = smin_state.wf;
+        let mut smin_cost = smin_state.total;
         if self.pacer.check_now() {
             self.budget_exhausted = true;
         }
@@ -244,7 +244,7 @@ impl<'m> Runner<'m> {
                 let s = shift_frw(&si, n1, nb)?;
                 let s = shift_frw(&s, n2, nb)?;
                 let snew = Factorize::new(nb, n1, n2).apply(&s).ok()?;
-                let c = model.cost(&snew);
+                let c = state_total(model, &snew);
                 Some((snew.fingerprint(), snew, c))
             });
             for eval in evals {
@@ -292,7 +292,7 @@ impl<'m> Runner<'m> {
                 let nb = ab.locate(&si)?;
                 let s = shift_bkw(&si, na, nb)?;
                 let snew = Distribute::new(nb, na).apply(&s).ok()?;
-                let c = model.cost(&snew);
+                let c = state_total(model, &snew);
                 Some((snew.fingerprint(), snew, c))
             });
             for eval in evals {
@@ -331,7 +331,7 @@ impl<'m> Runner<'m> {
         // to candidates that can actually beat S_MIN.
         const PHASE4_CAP: usize = 6;
         let model = self.model;
-        let costs: Vec<Result<f64>> = self.threads.map(&collected, |s| model.cost(s));
+        let costs: Vec<Result<f64>> = self.threads.map(&collected, |s| state_total(model, s));
         let mut ranked: Vec<(f64, &Workflow)> = costs
             .into_iter()
             .zip(&collected)
@@ -342,11 +342,11 @@ impl<'m> Runner<'m> {
             if self.out_of_budget() {
                 break;
             }
-            let cand = self.phase_swaps(si)?;
-            let c = self.cost(&cand)?;
-            if c < smin_cost {
-                smin = cand;
-                smin_cost = c;
+            let cand = self.phase_swaps(EvalState::full(si.clone(), self.model)?)?;
+            self.record_fp(cand.fp);
+            if cand.total < smin_cost {
+                smin = cand.wf;
+                smin_cost = cand.total;
             }
         }
 
@@ -363,7 +363,7 @@ impl<'m> Runner<'m> {
         if !merge_constraints.is_empty() {
             smin = crate::transition::split_all(&smin)
                 .map_err(|e| CoreError::Schema(format!("post-split failed: {e}")))?;
-            smin_cost = self.model.cost(&smin)?;
+            smin_cost = state_total(self.model, &smin)?;
         }
 
         Ok(SearchOutcome {
@@ -380,10 +380,11 @@ impl<'m> Runner<'m> {
     /// Phase I / Phase IV: optimize the swap order inside each local group
     /// (Heuristic 4 — divide and conquer), threading the best state from
     /// group to group. Exhaustive per-group exploration for HS, hill
-    /// climbing for HS-Greedy.
-    fn phase_swaps(&mut self, s0: &Workflow) -> Result<Workflow> {
-        let mut current = s0.clone();
-        let groups = current.local_groups()?;
+    /// climbing for HS-Greedy. The state travels as an [`EvalState`], so
+    /// every candidate swap is delta-priced against its parent.
+    fn phase_swaps(&mut self, s0: EvalState) -> Result<EvalState> {
+        let mut current = s0;
+        let groups = current.wf.local_groups()?;
         // Size the per-group exploration so Phase I takes at most ~1/6 of
         // the state budget even when every group is explored to its cap.
         // The upper clamp covers a 6-activity group (6! = 720) in full;
@@ -397,9 +398,9 @@ impl<'m> Runner<'m> {
             }
             let members: BTreeSet<NodeId> = group.iter().copied().collect();
             current = if self.greedy {
-                self.swap_greedy_sweep(&current, &members)?
+                self.swap_greedy_sweep(current, &members)?
             } else {
-                self.swap_exhaustive(&current, &members)?
+                self.swap_exhaustive(current, &members)?
             };
         }
         Ok(current)
@@ -413,9 +414,9 @@ impl<'m> Runner<'m> {
     /// exploration.
     fn swap_exhaustive(
         &mut self,
-        state: &Workflow,
+        state: EvalState,
         members: &BTreeSet<NodeId>,
-    ) -> Result<Workflow> {
+    ) -> Result<EvalState> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -440,21 +441,23 @@ impl<'m> Runner<'m> {
         // Hill-climb first: a cheap local optimum that the best-first
         // refinement can only improve on — under any truncation HS is at
         // least as good per group as HS-Greedy.
-        let climbed = self.swap_hill_climb(state, members)?;
-        let climbed_cost = self.cost(&climbed)?;
-        let start_cost = self.cost(state)?;
+        let climbed = self.swap_hill_climb(&state, members)?;
+        let climbed_cost = climbed.total;
+        let start_cost = state.total;
+        self.record_fp(state.fp);
+        self.record_fp(climbed.fp);
         let (mut best, mut best_cost) = if climbed_cost <= start_cost {
             (climbed.clone(), climbed_cost)
         } else {
             (state.clone(), start_cost)
         };
-        let mut states: Vec<Workflow> = vec![state.clone(), climbed];
+        let mut seen: HashSet<u128> = HashSet::new();
+        seen.insert(state.fp);
+        seen.insert(climbed.fp);
+        let mut states: Vec<EvalState> = vec![state, climbed];
         let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
         heap.push(Reverse(Key(start_cost, 0)));
         heap.push(Reverse(Key(climbed_cost, 1)));
-        let mut seen: HashSet<u128> = HashSet::new();
-        seen.insert(state.fingerprint());
-        seen.insert(states[1].fingerprint());
         let mut expanded = 0usize;
         while let Some(Reverse(Key(_, idx))) = heap.pop() {
             if expanded >= cap || self.out_of_budget() {
@@ -462,28 +465,24 @@ impl<'m> Runner<'m> {
             }
             let s = states[idx].clone();
             expanded += 1;
-            // Apply and price this state's group swaps on the worker pool;
-            // dedup and the heap pushes stay in enumeration order.
-            let moves = group_swaps(&s, members)?;
+            // Apply and delta-price this state's group swaps on the worker
+            // pool; dedup and the heap pushes stay in enumeration order.
+            let moves = group_swaps(&s.wf, members)?;
             let model = self.model;
-            let evals: Vec<Eval> = self.threads.map(&moves, |mv| {
-                let next = mv.apply(&s).ok()?;
-                let c = model.cost(&next);
-                Some((next.fingerprint(), next, c))
-            });
+            let evals: Vec<DeltaEval> = self.threads.map(&moves, |sw| s.step_transition(sw, model));
             for eval in evals {
-                let Some((fp, next, c)) = eval else { continue };
-                if !seen.insert(fp) {
+                let Some(res) = eval else { continue };
+                let next = res?;
+                if !seen.insert(next.fp) {
                     continue;
                 }
-                let c = c?;
-                self.record_fp(fp);
-                if c < best_cost {
-                    best_cost = c;
+                self.record_fp(next.fp);
+                if next.total < best_cost {
+                    best_cost = next.total;
                     best = next.clone();
                 }
+                heap.push(Reverse(Key(next.total, states.len())));
                 states.push(next);
-                heap.push(Reverse(Key(c, states.len() - 1)));
             }
         }
         Ok(best)
@@ -494,11 +493,11 @@ impl<'m> Runner<'m> {
     /// at a local optimum.
     fn swap_hill_climb(
         &mut self,
-        state: &Workflow,
+        state: &EvalState,
         members: &BTreeSet<NodeId>,
-    ) -> Result<Workflow> {
+    ) -> Result<EvalState> {
         let mut current = state.clone();
-        let mut current_cost = self.cost(&current)?;
+        self.record_fp(current.fp);
         loop {
             if self.out_of_budget() {
                 break;
@@ -506,27 +505,28 @@ impl<'m> Runner<'m> {
             // Evaluate every candidate swap of this climb step in
             // parallel; the best-improving pick below scans in enumeration
             // order, so ties resolve identically for any thread count.
-            let moves = group_swaps(&current, members)?;
+            let moves = group_swaps(&current.wf, members)?;
             let model = self.model;
-            let evals: Vec<Eval> = self.threads.map(&moves, |mv| {
-                let next = mv.apply(&current).ok()?;
-                let c = model.cost(&next);
-                Some((next.fingerprint(), next, c))
-            });
-            let mut improved: Option<(Workflow, f64)> = None;
+            let cur = &current;
+            let evals: Vec<DeltaEval> = self
+                .threads
+                .map(&moves, |sw| cur.step_transition(sw, model));
+            let mut improved: Option<EvalState> = None;
             for eval in evals {
-                let Some((fp, next, c)) = eval else { continue };
-                let c = c?;
-                self.record_fp(fp);
-                if c < current_cost && improved.as_ref().map(|(_, bc)| c < *bc).unwrap_or(true) {
-                    improved = Some((next, c));
+                let Some(res) = eval else { continue };
+                let next = res?;
+                self.record_fp(next.fp);
+                if next.total < current.total
+                    && improved
+                        .as_ref()
+                        .map(|b| next.total < b.total)
+                        .unwrap_or(true)
+                {
+                    improved = Some(next);
                 }
             }
             match improved {
-                Some((next, c)) => {
-                    current = next;
-                    current_cost = c;
-                }
+                Some(next) => current = next,
                 None => break,
             }
         }
@@ -541,11 +541,11 @@ impl<'m> Runner<'m> {
     /// HS-Greedy degrading on large workflows.
     fn swap_greedy_sweep(
         &mut self,
-        state: &Workflow,
+        state: EvalState,
         members: &BTreeSet<NodeId>,
-    ) -> Result<Workflow> {
-        let mut current = state.clone();
-        let mut current_cost = self.cost(&current)?;
+    ) -> Result<EvalState> {
+        let mut current = state;
+        self.record_fp(current.fp);
         // The group's pair list is taken up front, as in Fig. 7; a pair
         // consumed by an earlier swap may no longer be adjacent, in which
         // case `apply` refuses and the sweep moves on.
@@ -557,33 +557,32 @@ impl<'m> Runner<'m> {
         // first acceptance and throws the stale tail away, which makes the
         // accepted swaps — and the budget accounting — identical to a
         // sequential sweep for any thread count.
-        let moves = group_swaps(&current, members)?;
+        let moves = group_swaps(&current.wf, members)?;
         let mut start = 0;
         while start < moves.len() {
             let model = self.model;
             let cur = &current;
-            let evals: Vec<Eval> = self.threads.map(&moves[start..], |mv| {
-                let next = mv.apply(cur).ok()?;
-                let c = model.cost(&next);
-                Some((next.fingerprint(), next, c))
-            });
-            let mut advance: Option<usize> = None;
+            let evals: Vec<DeltaEval> = self
+                .threads
+                .map(&moves[start..], |sw| cur.step_transition(sw, model));
+            let mut advance: Option<(EvalState, usize)> = None;
             for (off, eval) in evals.into_iter().enumerate() {
                 if self.out_of_budget() {
                     break;
                 }
-                let Some((fp, next, c)) = eval else { continue };
-                let c = c?;
-                self.record_fp(fp);
-                if c < current_cost {
-                    current = next;
-                    current_cost = c;
-                    advance = Some(start + off + 1);
+                let Some(res) = eval else { continue };
+                let next = res?;
+                self.record_fp(next.fp);
+                if next.total < current.total {
+                    advance = Some((next, start + off + 1));
                     break;
                 }
             }
             match advance {
-                Some(s) => start = s,
+                Some((next, s)) => {
+                    current = next;
+                    start = s;
+                }
                 None => break,
             }
         }

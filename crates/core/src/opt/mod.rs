@@ -7,12 +7,16 @@
 //! maintained **semi-incrementally** (§4.1) — only the path from the
 //! activities a transition touched towards the targets is re-priced.
 
+mod eval;
 mod exhaustive;
 mod heuristic;
+mod memo;
 mod parallel;
 
+pub(crate) use eval::{state_total, EvalState};
 pub use exhaustive::ExhaustiveSearch;
 pub use heuristic::{HeuristicSearch, HsGreedy};
+pub use memo::MoveMemo;
 pub(crate) use parallel::Threads;
 
 use std::num::NonZeroUsize;

@@ -442,12 +442,12 @@ fn alts_prune(alts: &mut Vec<Alt>, backrefs: &mut Vec<BackRef>) {
 /// — letting the logical search algorithms optimize directly against
 /// physical costs.
 ///
-/// Note: `cost` runs the full planner; the per-activity `activity_cost`
-/// (used by the generic `report`/`report_incremental` paths, e.g. inside
-/// [`crate::opt::ExhaustiveSearch`]) prices each activity with a
-/// context-free fallback that ignores order propagation. Prefer
-/// [`crate::opt::HeuristicSearch`] / [`crate::opt::HsGreedy`] with this
-/// model — both rank states through `cost`.
+/// Note: `cost` runs the full planner, so the state cost is **not** a sum
+/// of per-activity terms — `supports_delta` is `false` and every search
+/// algorithm ranks states of this model through the full `cost` (no
+/// delta-repricing shortcut). The per-activity `activity_cost` (used by the
+/// generic `report`/`report_incremental` paths) prices each activity with a
+/// context-free fallback that ignores order propagation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhysicalCostModel {
     /// Planner configuration.
@@ -500,6 +500,13 @@ impl CostModel for PhysicalCostModel {
 
     fn cost(&self, wf: &Workflow) -> Result<f64> {
         Ok(plan(wf, &self.config)?.total_cost)
+    }
+
+    fn supports_delta(&self) -> bool {
+        // The planner's total is order-sensitive (sort orders propagate
+        // across activities), so it cannot be maintained as a sum of
+        // per-node terms; searches must fall back to full `cost`.
+        false
     }
 }
 

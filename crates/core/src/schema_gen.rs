@@ -149,32 +149,74 @@ pub fn check(graph: &Graph) -> Result<()> {
 }
 
 /// Nodes reachable downstream of `start` (inclusive), in topological order.
-/// Used by the semi-incremental cost computation (§4.1): after a transition
-/// only the path from the affected activities towards the targets changes.
+/// Used by the incremental state evaluation (§4.1): after a transition only
+/// the path from the affected activities towards the targets changes.
+///
+/// Runs in O(dirty subgraph), not O(whole workflow): a consumer-edge sweep
+/// collects the reachable set, then a Kahn walk *restricted to that set*
+/// orders it (a dirty node is ready once all its dirty providers are
+/// ordered — its clean providers are upstream of every start node by
+/// construction). The min-heap keeps the order deterministic, mirroring
+/// [`Graph::topo_order`]. Dead start ids are skipped, so callers may pass
+/// `affected` lists naming slots a transition has since freed.
 pub fn downstream_of(graph: &Graph, start: &[NodeId]) -> Result<Vec<NodeId>> {
-    let order = graph.topo_order()?;
-    let cap = order
-        .iter()
-        .map(|id| id.0 as usize)
-        .chain(start.iter().map(|id| id.0 as usize))
-        .max()
-        .map_or(0, |m| m + 1);
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let cap = graph.slot_capacity();
     let mut reached = vec![false; cap];
-    for id in start {
-        reached[id.0 as usize] = true;
-    }
-    let mut out = Vec::new();
-    for &id in &order {
-        let hit = reached[id.0 as usize]
-            || graph
-                .providers(id)?
-                .iter()
-                .flatten()
-                .any(|p| reached[p.0 as usize]);
-        if hit {
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &id in start {
+        if (id.0 as usize) < cap && graph.contains(id) && !reached[id.0 as usize] {
             reached[id.0 as usize] = true;
-            out.push(id);
+            stack.push(id);
         }
+    }
+    let mut members: Vec<NodeId> = Vec::with_capacity(stack.len() * 4);
+    while let Some(id) = stack.pop() {
+        members.push(id);
+        for &c in graph.consumers(id)? {
+            if !reached[c.0 as usize] {
+                reached[c.0 as usize] = true;
+                stack.push(c);
+            }
+        }
+    }
+    // Indegree counted per edge among dirty providers only (a consumer may
+    // read the same provider on both ports, exactly as in `topo_order`).
+    let mut indegree = vec![0usize; cap];
+    let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
+    for &id in &members {
+        let d = graph
+            .providers(id)?
+            .iter()
+            .flatten()
+            .filter(|p| reached[p.0 as usize])
+            .count();
+        indegree[id.0 as usize] = d;
+        if d == 0 {
+            heap.push(Reverse(id));
+        }
+    }
+    let mut out = Vec::with_capacity(members.len());
+    while let Some(Reverse(id)) = heap.pop() {
+        out.push(id);
+        for &c in graph.consumers(id)? {
+            let slot = c.0 as usize;
+            if reached[slot] {
+                indegree[slot] -= 1;
+                if indegree[slot] == 0 {
+                    heap.push(Reverse(c));
+                }
+            }
+        }
+    }
+    if out.len() != members.len() {
+        let stuck = members
+            .iter()
+            .copied()
+            .find(|id| indegree[id.0 as usize] > 0)
+            .unwrap_or(NodeId(0));
+        return Err(CoreError::CyclicGraph { node: stuck });
     }
     Ok(out)
 }

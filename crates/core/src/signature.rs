@@ -94,6 +94,17 @@ impl Fp128 {
         }
     }
 
+    /// Absorb a child hash whole (little-endian), without byte-splitting
+    /// overhead dominating: one mixing round per 64-bit half and lane.
+    pub(crate) fn write_u128(&mut self, h: u128) {
+        let lo = h as u64;
+        let hi = (h >> 64) as u64;
+        self.a = (self.a.rotate_left(5) ^ lo).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95);
+        self.a = (self.a.rotate_left(5) ^ hi).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95);
+        self.b = (self.b.rotate_left(7) ^ lo).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        self.b = (self.b.rotate_left(7) ^ hi).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+
     pub(crate) fn finish(&self) -> u128 {
         fn avalanche(mut z: u64) -> u64 {
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -111,70 +122,110 @@ impl fmt::Write for Fp128 {
     }
 }
 
-/// Fingerprint a workflow state directly, streaming the exact byte sequence
-/// of [`Signature::of`] into the mixer. Linear spines — the bulk of every
-/// signature — hash without materializing; only binary-node branches (which
-/// must be rendered to compare commutative orderings) and shared subflows
-/// build intermediate strings.
-pub(crate) fn fingerprint_of(wf: &Workflow) -> u128 {
-    use std::fmt::Write;
-    let mut memo: HashMap<NodeId, String> = HashMap::new();
-    let mut fp = Fp128::new();
-    let targets = wf.targets();
-    if targets.len() == 1 {
-        render_fp(wf, targets[0], &mut memo, &mut fp);
-    } else {
-        // Multi-target states sort rendered target chains, so they have to
-        // materialize — rare outside hand-built scenarios.
-        let mut chains: Vec<String> = targets
-            .into_iter()
-            .map(|t| {
-                let mut out = String::with_capacity(64);
-                render(wf, t, &mut memo, &mut out);
-                out
-            })
-            .collect();
-        chains.sort();
-        let _ = fp.write_str(&chains.join("||"));
-    }
-    fp.finish()
+/// Slot-indexed structural hashes of every node's upstream subflow — the
+/// incremental-fingerprint state carried from parent to successor during
+/// search.
+///
+/// Each node's hash digests the same information its signature substring
+/// carries: the hashes of its providers (sorted for commutative binaries,
+/// so mirror-image states collapse), an arity tag, and the node's lifelong
+/// token (activity id or recordset priority). The state fingerprint folds
+/// the target hashes in sorted order, mirroring the sorted-join of
+/// multi-target signatures. Fingerprint equality therefore coincides with
+/// signature equality (w.h.p.), which is the only property the visited
+/// sets rely on — asserted by the equivalence property tests.
+///
+/// Dead slots keep stale hashes; they are never read, because transitions'
+/// `affected` sets cover every re-populated slot (the same invariant delta
+/// costing rests on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHashes {
+    node: Vec<u128>,
 }
 
-/// Streaming twin of [`render`]: identical byte output, but the unary spine
-/// goes straight into the mixer.
-fn render_fp(wf: &Workflow, id: NodeId, memo: &mut HashMap<NodeId, String>, fp: &mut Fp128) {
+impl NodeHashes {
+    /// Hash of one node's upstream subflow (0 for ids never hashed).
+    pub fn of(&self, id: NodeId) -> u128 {
+        self.node.get(id.0 as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Hash every node of a state from scratch, bottom-up from the sources;
+/// returns the per-node table and the state fingerprint. Infallible like
+/// the string render: a malformed graph yields a garbage-but-deterministic
+/// digest, and validity is enforced elsewhere.
+pub fn hash_state(wf: &Workflow) -> (NodeHashes, u128) {
+    let cap = wf.graph().slot_capacity();
+    let mut node = vec![0u128; cap];
+    // 0 = untouched, 1 = scheduled, 2 = hashed.
+    let mut state = vec![0u8; cap];
+    let targets = wf.targets();
+    let mut stack: Vec<(NodeId, bool)> = targets.iter().map(|&t| (t, false)).collect();
+    while let Some((id, ready)) = stack.pop() {
+        let slot = id.0 as usize;
+        if ready {
+            node[slot] = node_hash(wf, id, &node);
+            state[slot] = 2;
+        } else {
+            if state[slot] != 0 {
+                continue;
+            }
+            state[slot] = 1;
+            stack.push((id, true));
+            for p in wf
+                .graph()
+                .providers(id)
+                .unwrap_or_default()
+                .iter()
+                .flatten()
+            {
+                if state[p.0 as usize] == 0 {
+                    stack.push((*p, false));
+                }
+            }
+        }
+    }
+    let fp = combine_targets(&targets, &node);
+    (NodeHashes { node }, fp)
+}
+
+/// Incremental twin of [`hash_state`]: reuse the parent's per-node hashes
+/// and rehash only the `dirty` list — [`crate::schema_gen::downstream_of`]
+/// of the transition's affected nodes on the successor graph, already in
+/// topological order. Exact for the same reason delta costing is: a node's
+/// hash is a pure function of its providers' hashes, and the dirty closure
+/// contains every node whose providers changed.
+pub fn rehash_along(wf: &Workflow, parent: &NodeHashes, dirty: &[NodeId]) -> (NodeHashes, u128) {
+    let mut node = parent.node.clone();
+    node.resize(wf.graph().slot_capacity(), 0);
+    for &id in dirty {
+        node[id.0 as usize] = node_hash(wf, id, &node);
+    }
+    let fp = combine_targets(&wf.targets(), &node);
+    (NodeHashes { node }, fp)
+}
+
+/// One node's structural hash from its providers' hashes. Arity tags keep
+/// the digest injective-in-structure the way the signature grammar is:
+/// `s`ource, `u`nary and `b`inary nodes cannot collide by token reuse, and
+/// commutative binaries sort their branch hashes exactly where the string
+/// render sorts its branch strings.
+fn node_hash(wf: &Workflow, id: NodeId, node: &[u128]) -> u128 {
     use std::fmt::Write;
     let graph = wf.graph();
-    let shared = graph.consumers(id).map(|c| c.len() > 1).unwrap_or(false);
-    if shared {
-        // Shared subflows memoize their string form; render through the
-        // string path so the memo stays consistent with `render`.
-        if !memo.contains_key(&id) {
-            let mut out = String::with_capacity(64);
-            render(wf, id, memo, &mut out);
-            memo.entry(id).or_insert(out);
-        }
-        fp.write(memo[&id].as_bytes());
-        return;
-    }
+    let mut fp = Fp128::new();
     let providers = graph.providers(id).unwrap_or_default();
     match providers.len() {
-        0 => {}
+        0 => fp.write(b"s"),
         1 => {
+            fp.write(b"u");
             if let Some(p) = providers[0] {
-                render_fp(wf, p, memo, fp);
-                fp.write(b".");
+                fp.write_u128(node[p.0 as usize]);
             }
         }
         _ => {
-            let mut l = String::with_capacity(32);
-            let mut r = String::with_capacity(32);
-            if let Some(p) = providers[0] {
-                render(wf, p, memo, &mut l);
-            }
-            if let Some(p) = providers[1] {
-                render(wf, p, memo, &mut r);
-            }
+            let l = providers[0].map(|p| node[p.0 as usize]).unwrap_or(0);
+            let r = providers[1].map(|p| node[p.0 as usize]).unwrap_or(0);
             let commutative = match graph.node(id) {
                 Ok(Node::Activity(a)) => match &a.op {
                     crate::activity::Op::Binary(b) => b.is_commutative(),
@@ -183,15 +234,35 @@ fn render_fp(wf: &Workflow, id: NodeId, memo: &mut HashMap<NodeId, String>, fp: 
                 _ => false,
             };
             let (l, r) = if commutative && r < l { (r, l) } else { (l, r) };
-            let _ = write!(fp, "(({l})//({r})).");
+            fp.write(b"b");
+            fp.write_u128(l);
+            fp.write_u128(r);
         }
     }
+    fp.write(b".");
     match graph.node(id) {
         Ok(Node::Activity(a)) => {
             let _ = write!(fp, "{}", a.id);
         }
         _ => fp.write(wf.priority_token(id).as_bytes()),
     }
+    fp.finish()
+}
+
+/// Fold the target hashes, sorted so multi-target states are order-free —
+/// the hash-level twin of the sorted `||` join in [`Signature::of`].
+fn combine_targets(targets: &[NodeId], node: &[u128]) -> u128 {
+    let mut ts: Vec<u128> = targets
+        .iter()
+        .map(|t| node.get(t.0 as usize).copied().unwrap_or(0))
+        .collect();
+    ts.sort_unstable();
+    let mut fp = Fp128::new();
+    fp.write(b"W");
+    for h in ts {
+        fp.write_u128(h);
+    }
+    fp.finish()
 }
 
 impl fmt::Display for Signature {
@@ -353,38 +424,91 @@ mod tests {
     }
 
     #[test]
-    fn streaming_fingerprint_matches_string_fingerprint() {
-        // Linear spine (pure streaming path).
-        let wf = linear();
-        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+    fn structural_fingerprint_tracks_signature_across_shapes() {
+        // The contract: fingerprint equality ⟺ signature equality, across
+        // the render paths (linear spine, binary, shared subflow,
+        // multi-target). Fingerprints are structural hashes, not hashes of
+        // the rendered string, so only the equivalence is asserted.
+        let shapes: Vec<Workflow> = vec![
+            linear(),
+            {
+                let mut b = WorkflowBuilder::new();
+                let s1 = b.source("S1", Schema::of(["a"]), 10.0);
+                let s2 = b.source("S2", Schema::of(["a"]), 10.0);
+                let u = b.binary("U", BinaryOp::Union, s1, s2);
+                let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), u);
+                b.target("T", Schema::of(["a"]), f);
+                b.build().unwrap()
+            },
+            {
+                let mut b = WorkflowBuilder::new();
+                let s = b.source("S", Schema::of(["a"]), 10.0);
+                let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+                let j = b.binary("∩", BinaryOp::Intersection, f, f);
+                b.target("T", Schema::of(["a"]), j);
+                b.build().unwrap()
+            },
+            {
+                let mut b = WorkflowBuilder::new();
+                let s = b.source("S", Schema::of(["a"]), 10.0);
+                let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
+                b.target("T1", Schema::of(["a"]), f);
+                b.target("T2", Schema::of(["a"]), s);
+                b.build().unwrap()
+            },
+        ];
+        for x in &shapes {
+            // Stable across clones and recomputation.
+            assert_eq!(x.fingerprint(), x.clone().fingerprint());
+            for y in &shapes {
+                assert_eq!(
+                    x.fingerprint() == y.fingerprint(),
+                    x.signature() == y.signature(),
+                    "{} vs {}",
+                    x.signature(),
+                    y.signature()
+                );
+            }
+        }
+    }
 
-        // Binary node (branch materialization path).
+    #[test]
+    fn incremental_rehash_matches_scratch_across_a_swap() {
+        use crate::transition::{Swap, Transition};
         let mut b = WorkflowBuilder::new();
-        let s1 = b.source("S1", Schema::of(["a"]), 10.0);
-        let s2 = b.source("S2", Schema::of(["a"]), 10.0);
-        let u = b.binary("U", BinaryOp::Union, s1, s2);
-        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), u);
-        b.target("T", Schema::of(["a"]), f);
+        let s = b.source("S", Schema::of(["k", "v"]), 100.0);
+        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("v", 1)), s);
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), f);
+        b.target("T", Schema::of(["sk", "v"]), sk);
         let wf = b.build().unwrap();
-        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+        let (hashes, fp) = hash_state(&wf);
+        assert_eq!(fp, wf.fingerprint());
+        let acts = wf.activities().unwrap();
+        let t = Swap::new(acts[0], acts[1]);
+        let next = t.apply(&wf).unwrap();
+        let dirty = crate::schema_gen::downstream_of(next.graph(), &t.affected(&wf)).unwrap();
+        let (inc_hashes, inc_fp) = rehash_along(&next, &hashes, &dirty);
+        let (scratch_hashes, scratch_fp) = hash_state(&next);
+        assert_eq!(inc_fp, scratch_fp);
+        assert_eq!(inc_hashes, scratch_hashes);
+        assert_ne!(inc_fp, fp, "swap must change the fingerprint");
+    }
 
-        // Shared subflow (memo path).
-        let mut b = WorkflowBuilder::new();
-        let s = b.source("S", Schema::of(["a"]), 10.0);
-        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
-        let j = b.binary("∩", BinaryOp::Intersection, f, f);
-        b.target("T", Schema::of(["a"]), j);
-        let wf = b.build().unwrap();
-        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
-
-        // Multi-target (sorted-join path).
-        let mut b = WorkflowBuilder::new();
-        let s = b.source("S", Schema::of(["a"]), 10.0);
-        let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s);
-        b.target("T1", Schema::of(["a"]), f);
-        b.target("T2", Schema::of(["a"]), s);
-        let wf = b.build().unwrap();
-        assert_eq!(wf.fingerprint(), wf.signature().fingerprint());
+    #[test]
+    fn commutative_branches_hash_canonically() {
+        let build = |flip: bool| {
+            let mut b = WorkflowBuilder::new();
+            let s1 = b.source("S1", Schema::of(["a"]), 10.0);
+            let s2 = b.source("S2", Schema::of(["a"]), 20.0);
+            // A filter on one branch only, so the flip actually reorders
+            // structurally distinct subflows.
+            let f = b.unary("σ", UnaryOp::filter(Predicate::gt("a", 1)), s1);
+            let (l, r) = if flip { (s2, f) } else { (f, s2) };
+            let u = b.binary("U", BinaryOp::Union, l, r);
+            b.target("T", Schema::empty(), u);
+            b.build().unwrap()
+        };
+        assert_eq!(build(false).fingerprint(), build(true).fingerprint());
     }
 
     #[test]

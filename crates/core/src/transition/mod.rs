@@ -10,9 +10,18 @@
 //!
 //! Every transition implements [`Transition`]: `check` encodes the paper's
 //! numbered applicability conditions (plus the semantic-exactness rules of
-//! [`commute`]) and `apply` produces the successor state with all schemata
-//! regenerated. Applying a transition to a state it is not applicable to is
+//! [`commute`]) and `apply` produces the successor state with schemata
+//! regenerated **only along the dirty downstream path** (from the touched
+//! nodes towards the targets — everything upstream keeps its `Arc`-shared
+//! payload). Applying a transition to a state it is not applicable to is
 //! an error, never a panic, and never a silently wrong workflow.
+//!
+//! The same dirty set drives the searches' incremental state evaluation:
+//! [`Transition::affected`] must conservatively cover every node whose
+//! derived row count or structural hash the rewrite can change, because
+//! delta repricing and fingerprint rehashing start from exactly those
+//! roots (`crate::cost::CostModel::reprice_from`,
+//! `crate::signature::rehash_along`).
 
 pub mod commute;
 mod distribute;

@@ -87,12 +87,15 @@ impl Workflow {
         Signature::of(self)
     }
 
-    /// The 128-bit fingerprint of this state's signature, streamed into the
-    /// mixer without materializing the signature string for linear spines.
-    /// Agrees exactly with `self.signature().fingerprint()`; search visited
-    /// sets key on this value.
+    /// The 128-bit structural fingerprint of this state: a bottom-up fold
+    /// of per-node hashes ([`crate::signature::hash_state`]) digesting the
+    /// same structure the signature string renders. Fingerprint equality
+    /// coincides with signature equality (w.h.p. — asserted by property
+    /// tests); search visited sets key on this value, and transitions
+    /// update it incrementally via [`crate::signature::rehash_along`]
+    /// instead of recomputing it from scratch.
     pub fn fingerprint(&self) -> u128 {
-        crate::signature::fingerprint_of(self)
+        crate::signature::hash_state(self).1
     }
 
     /// The initial-topology priority of a node: activities carry it in

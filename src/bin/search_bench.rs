@@ -1,17 +1,27 @@
 //! Search-throughput baseline: states/sec for ES and HS, sequential vs
 //! parallel, on generated small/medium workloads, plus clone/transition
 //! micro-timings demonstrating that cloning a state costs O(topology) and a
-//! transition detaches only the touched nodes (structural sharing).
+//! transition detaches only the touched nodes (structural sharing), and
+//! delta-vs-scratch micro-timings for the incremental state evaluation
+//! (repricing and rehashing only the dirty downstream path).
 //!
 //! Emits `BENCH_search.json` in the current directory. Criterion-free so it
 //! runs offline from the workspace; run with
 //! `cargo run --release --bin search_bench`.
+//!
+//! With `--smoke`, instead of regenerating the file it re-measures the
+//! small-scenario sequential ES throughput and exits non-zero if it has
+//! regressed more than 30% against the *committed* `BENCH_search.json` —
+//! the CI perf gate.
 
 use std::time::Instant;
 
+use etlopt::core::cost::CostModel;
 use etlopt::core::opt::{
-    enumerate_moves, ExhaustiveSearch, HeuristicSearch, Optimizer, SearchBudget,
+    enumerate_moves, ExhaustiveSearch, HeuristicSearch, Move, Optimizer, SearchBudget,
 };
+use etlopt::core::schema_gen::downstream_of;
+use etlopt::core::signature::{hash_state, rehash_along};
 use etlopt::prelude::*;
 use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
 
@@ -59,7 +69,7 @@ fn clone_stats(wf: &etlopt::core::workflow::Workflow) -> CloneStats {
     let swap = enumerate_moves(wf)
         .expect("moves enumerate")
         .into_iter()
-        .find(|m| matches!(m, etlopt::core::opt::Move::Swap(_)));
+        .find(|m| matches!(m, Move::Swap(_)));
     let (transition_ns, shared_after_transition) = match swap {
         Some(mv) => {
             let ns = avg_ns(500, || {
@@ -88,8 +98,122 @@ fn clone_stats(wf: &etlopt::core::workflow::Workflow) -> CloneStats {
     }
 }
 
+struct IncrStats {
+    dirty_nodes: usize,
+    total_nodes: usize,
+    full_cost_ns: f64,
+    reprice_ns: f64,
+    full_signature_ns: f64,
+    incr_fingerprint_ns: f64,
+}
+
+/// Delta-vs-scratch micro-timings across one swap: repricing from the
+/// parent's row counts along the dirty downstream path vs a from-scratch
+/// `price`, and rehashing the dirty nodes vs rendering the full signature
+/// string. Both incremental timings include the shared `downstream_of`
+/// walk, so they are honest end-to-end per-expansion costs.
+fn incr_stats(wf: &etlopt::core::workflow::Workflow) -> Option<IncrStats> {
+    let model = RowCountModel::default();
+    // Among the applicable swaps, measure the one with the smallest dirty
+    // downstream set — a swap near the targets, the typical case the delta
+    // path pays off on (a swap at the sources dirties nearly everything).
+    let mv = enumerate_moves(wf)
+        .expect("moves enumerate")
+        .into_iter()
+        .filter(|m| matches!(m, Move::Swap(_)))
+        .filter_map(|m| {
+            let next = m.apply(wf).ok()?;
+            let dirty = downstream_of(next.graph(), &m.affected(wf)).ok()?;
+            Some((dirty.len(), m))
+        })
+        .min_by_key(|(len, _)| *len)
+        .map(|(_, m)| m)?;
+    let parent_cost = model.price(wf).expect("price parent");
+    let (parent_hashes, _) = hash_state(wf);
+    let next = mv.apply(wf).expect("swap applies");
+    let affected = mv.affected(wf);
+    let dirty = downstream_of(next.graph(), &affected).expect("dirty walk");
+
+    let full_cost_ns = avg_ns(2_000, || {
+        std::hint::black_box(model.price(&next).expect("price"));
+    });
+    let reprice_ns = avg_ns(2_000, || {
+        std::hint::black_box(
+            model
+                .reprice_from(&next, &parent_cost, &affected)
+                .expect("reprice"),
+        );
+    });
+    let full_signature_ns = avg_ns(2_000, || {
+        std::hint::black_box(next.signature());
+    });
+    let incr_fingerprint_ns = avg_ns(2_000, || {
+        let d = downstream_of(next.graph(), &affected).expect("dirty walk");
+        std::hint::black_box(rehash_along(&next, &parent_hashes, &d));
+    });
+    Some(IncrStats {
+        dirty_nodes: dirty.len(),
+        total_nodes: next.graph().iter().count(),
+        full_cost_ns,
+        reprice_ns,
+        full_signature_ns,
+        incr_fingerprint_ns,
+    })
+}
+
+/// Pull a numeric field out of the committed `BENCH_search.json` without a
+/// JSON parser (offline workspace): descend section → algo → field by
+/// string split.
+fn scrape(json: &str, section: &str, algo: &str, field: &str) -> Option<f64> {
+    let sec = json.split(&format!("\"{section}\"")).nth(1)?;
+    let algo_part = sec.split(&format!("\"{algo}\"")).nth(1)?;
+    let val = algo_part.split(&format!("\"{field}\":")).nth(1)?;
+    let num: String = val
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
+/// CI perf gate: re-measure small-scenario sequential ES and fail on a >30%
+/// regression against the committed baseline.
+fn smoke() {
+    let committed =
+        std::fs::read_to_string("BENCH_search.json").expect("BENCH_search.json must be committed");
+    let baseline = scrape(&committed, "small", "es", "seq_states_per_sec")
+        .expect("baseline seq_states_per_sec in BENCH_search.json");
+    let s = Generator::generate(GeneratorConfig {
+        seed: 42,
+        category: SizeCategory::Small,
+    });
+    let budget = SearchBudget::states(10_000).with_parallelism(1);
+    let (rate, _) = throughput(&ExhaustiveSearch::with_budget(budget), &s.workflow);
+    let floor = baseline * 0.70;
+    if rate < floor {
+        eprintln!(
+            "perf smoke FAILED: small ES seq {rate:.0} states/sec < 70% of \
+             committed baseline {baseline:.0} (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf smoke ok: small ES seq {rate:.0} states/sec vs committed \
+         baseline {baseline:.0} (floor {floor:.0})"
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On machines with fewer cores than the 4 requested worker threads a
+    // "parallel" run measures oversubscription, not speedup; skip it and
+    // say so rather than commit misleading numbers.
+    let run_par = threads >= 4;
     let mut sections = Vec::new();
 
     for category in [SizeCategory::Small, SizeCategory::Medium] {
@@ -105,31 +229,65 @@ fn main() {
             &ExhaustiveSearch::with_budget(es_budget.with_parallelism(1)),
             &s.workflow,
         );
-        let (es_par, _) = throughput(
-            &ExhaustiveSearch::with_budget(es_budget.with_parallelism(4)),
-            &s.workflow,
-        );
+        let es_par = run_par.then(|| {
+            throughput(
+                &ExhaustiveSearch::with_budget(es_budget.with_parallelism(4)),
+                &s.workflow,
+            )
+            .0
+        });
 
         let hs_budget = SearchBudget::states(20_000);
         let (hs_seq, hs_visited) = throughput(
             &HeuristicSearch::with_budget(hs_budget.with_parallelism(1)),
             &s.workflow,
         );
-        let (hs_par, _) = throughput(
-            &HeuristicSearch::with_budget(hs_budget.with_parallelism(4)),
-            &s.workflow,
-        );
+        let hs_par = run_par.then(|| {
+            throughput(
+                &HeuristicSearch::with_budget(hs_budget.with_parallelism(4)),
+                &s.workflow,
+            )
+            .0
+        });
+
+        let par_cell = |par: Option<f64>, seq: f64| match par {
+            Some(p) => format!(
+                "\"par4_states_per_sec\": {p:.0}, \"speedup\": {:.2}",
+                p / seq.max(1e-9)
+            ),
+            None => format!(
+                "\"par4_states_per_sec\": null, \"speedup\": null, \
+                 \"par4_note\": \"skipped: machine_threads = {threads} < 4\""
+            ),
+        };
 
         let c = clone_stats(&s.workflow);
+        let incr = match incr_stats(&s.workflow) {
+            Some(i) => format!(
+                concat!(
+                    "    \"incremental\": {{\"dirty_nodes\": {dirty}, ",
+                    "\"total_nodes\": {total}, ",
+                    "\"full_cost_ns\": {full_cost:.0}, \"reprice_ns\": {reprice:.0}, ",
+                    "\"full_signature_ns\": {full_sig:.0}, ",
+                    "\"incr_fingerprint_ns\": {incr_fp:.0}}},\n",
+                ),
+                dirty = i.dirty_nodes,
+                total = i.total_nodes,
+                full_cost = i.full_cost_ns,
+                reprice = i.reprice_ns,
+                full_sig = i.full_signature_ns,
+                incr_fp = i.incr_fingerprint_ns,
+            ),
+            None => String::new(),
+        };
         sections.push(format!(
             concat!(
                 "  \"{label}\": {{\n",
-                "    \"es\": {{\"seq_states_per_sec\": {es_seq:.0}, ",
-                "\"par4_states_per_sec\": {es_par:.0}, ",
-                "\"speedup\": {es_speedup:.2}, \"visited\": {es_visited}}},\n",
-                "    \"hs\": {{\"seq_states_per_sec\": {hs_seq:.0}, ",
-                "\"par4_states_per_sec\": {hs_par:.0}, ",
-                "\"speedup\": {hs_speedup:.2}, \"visited\": {hs_visited}}},\n",
+                "    \"es\": {{\"seq_states_per_sec\": {es_seq:.0}, {es_par}, ",
+                "\"visited\": {es_visited}}},\n",
+                "    \"hs\": {{\"seq_states_per_sec\": {hs_seq:.0}, {hs_par}, ",
+                "\"visited\": {hs_visited}}},\n",
+                "{incr}",
                 "    \"clone\": {{\"nodes\": {nodes}, \"clone_ns\": {clone_ns:.0}, ",
                 "\"swap_transition_ns\": {transition_ns:.0}, ",
                 "\"nodes_shared_after_swap\": {shared}}}\n",
@@ -137,13 +295,12 @@ fn main() {
             ),
             label = label,
             es_seq = es_seq,
-            es_par = es_par,
-            es_speedup = es_par / es_seq.max(1e-9),
+            es_par = par_cell(es_par, es_seq),
             es_visited = es_visited,
             hs_seq = hs_seq,
-            hs_par = hs_par,
-            hs_speedup = hs_par / hs_seq.max(1e-9),
+            hs_par = par_cell(hs_par, hs_seq),
             hs_visited = hs_visited,
+            incr = incr,
             nodes = c.nodes,
             clone_ns = c.clone_ns,
             transition_ns = c.transition_ns,

@@ -190,9 +190,6 @@ fn fingerprint_equality_implies_signature_equality() {
         states.push(end);
     }
     for x in &states {
-        // The streaming workflow fingerprint must agree with hashing the
-        // rendered signature string.
-        assert_eq!(x.fingerprint(), x.signature().fingerprint());
         for y in &states {
             let fp_eq = x.fingerprint() == y.fingerprint();
             let sig_eq = x.signature() == y.signature();

@@ -1,0 +1,161 @@
+//! Randomized incremental-vs-scratch equivalence (the §4.1 invariant the
+//! searches now rely on): along random transition walks, delta-repriced
+//! costs and incrementally-rehashed fingerprints must equal their
+//! from-scratch counterparts **bit-for-bit at every step** — totals,
+//! per-node row counts, per-node costs, and per-node hashes alike. Driven
+//! by the in-repo seeded [`Rng`] (offline build — no `proptest`); failures
+//! name their seed.
+
+use etlopt::core::opt::enumerate_moves;
+use etlopt::core::rng::Rng;
+use etlopt::core::schema_gen::downstream_of;
+use etlopt::core::signature::{hash_state, rehash_along};
+use etlopt::prelude::*;
+use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+
+fn picks(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect()
+}
+
+/// Walk a pseudo-random transition path, checking at every applied step
+/// that the delta evaluation (repriced from the parent's tables along the
+/// dirty downstream path only) agrees exactly with a from-scratch
+/// evaluation of the child. Returns the states visited.
+fn checked_walk(wf: &Workflow, picks: &[u8], model: &RowCountModel, tag: &str) -> Vec<Workflow> {
+    let mut states = vec![wf.clone()];
+    let mut cur = wf.clone();
+    let mut cost = model.price(&cur).unwrap();
+    let (mut hashes, mut fp) = hash_state(&cur);
+    assert_eq!(fp, cur.fingerprint(), "{tag}: fingerprint() must agree");
+    for &p in picks {
+        let moves = enumerate_moves(&cur).unwrap();
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[p as usize % moves.len()];
+        let Ok(next) = mv.apply(&cur) else { continue };
+        let affected = mv.affected(&cur);
+
+        // Delta cost vs from-scratch pricing.
+        let delta = model.reprice_from(&next, &cost, &affected).unwrap();
+        let scratch = model.price(&next).unwrap();
+        assert_eq!(
+            delta.total.to_bits(),
+            scratch.total.to_bits(),
+            "{tag}: delta total {} != scratch total {} after {}",
+            delta.total,
+            scratch.total,
+            mv.describe(&cur),
+        );
+        for (id, _) in next.graph().iter() {
+            assert_eq!(
+                delta.rows_out(id).to_bits(),
+                scratch.rows_out(id).to_bits(),
+                "{tag}: rows_out({id:?}) diverged after {}",
+                mv.describe(&cur),
+            );
+            assert_eq!(
+                delta.node_cost(id).to_bits(),
+                scratch.node_cost(id).to_bits(),
+                "{tag}: node_cost({id:?}) diverged after {}",
+                mv.describe(&cur),
+            );
+        }
+
+        // Incremental fingerprint vs from-scratch hashing.
+        let dirty = downstream_of(next.graph(), &affected).unwrap();
+        let (inc_hashes, inc_fp) = rehash_along(&next, &hashes, &dirty);
+        let (scr_hashes, scr_fp) = hash_state(&next);
+        assert_eq!(
+            inc_fp,
+            scr_fp,
+            "{tag}: incremental fingerprint diverged after {}",
+            mv.describe(&cur),
+        );
+        for (id, _) in next.graph().iter() {
+            assert_eq!(
+                inc_hashes.of(id),
+                scr_hashes.of(id),
+                "{tag}: node hash {id:?} diverged after {}",
+                mv.describe(&cur),
+            );
+        }
+
+        cur = next;
+        cost = delta;
+        hashes = inc_hashes;
+        fp = inc_fp;
+        states.push(cur.clone());
+    }
+    let _ = fp;
+    states
+}
+
+/// Delta cost and incremental fingerprints agree with from-scratch
+/// evaluation at every step of random walks over generated workflows.
+#[test]
+fn incremental_evaluation_matches_scratch_on_random_walks() {
+    let model = RowCountModel::default();
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0909);
+        let seed = rng.gen_range(0..400u64);
+        let picks = picks(&mut rng, 8);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
+        checked_walk(&s.workflow, &picks, &model, &format!("case {case}"));
+    }
+}
+
+/// Same invariant on medium workflows, where the dirty path is a small
+/// fraction of the graph — the regime the delta evaluation exists for.
+#[test]
+fn incremental_evaluation_matches_scratch_on_medium_workflows() {
+    let model = RowCountModel::default();
+    for case in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0a0a);
+        let seed = rng.gen_range(0..100u64);
+        let picks = picks(&mut rng, 6);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Medium,
+        });
+        checked_walk(&s.workflow, &picks, &model, &format!("medium case {case}"));
+    }
+}
+
+/// Along walked paths, fingerprint equality must still coincide with
+/// signature equality — the visited sets key on the fingerprint alone.
+#[test]
+fn walked_fingerprints_track_signatures() {
+    let model = RowCountModel::default();
+    let mut states: Vec<Workflow> = Vec::new();
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(case ^ 0x0b0b);
+        let seed = rng.gen_range(0..200u64);
+        let picks = picks(&mut rng, 6);
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
+        states.extend(checked_walk(
+            &s.workflow,
+            &picks,
+            &model,
+            &format!("case {case}"),
+        ));
+    }
+    for x in &states {
+        for y in &states {
+            assert_eq!(
+                x.fingerprint() == y.fingerprint(),
+                x.signature() == y.signature(),
+                "fingerprint/signature disagreement: {} vs {}",
+                x.signature(),
+                y.signature()
+            );
+        }
+    }
+}
