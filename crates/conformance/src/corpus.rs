@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use etlopt_core::cost::RowCountModel;
 use etlopt_core::opt::{ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer, SearchBudget};
+use etlopt_core::trace::SearchStats;
 use etlopt_workload::{Generator, Scenario, SizeCategory};
 
 use crate::chain::{format_steps, random_chain, replay};
@@ -124,6 +125,9 @@ pub struct CorpusReport {
     pub warnings: usize,
     /// Wall-clock seconds of the whole sweep.
     pub elapsed_secs: f64,
+    /// Search telemetry aggregated per algorithm (ES, HS, HS-Greedy) across
+    /// every scenario, via [`SearchStats::absorb`].
+    pub search_stats: Vec<SearchStats>,
 }
 
 impl CorpusReport {
@@ -134,6 +138,25 @@ impl CorpusReport {
         } else {
             self.passed as f64 / self.checks as f64
         }
+    }
+
+    /// Serialize the aggregated per-algorithm search telemetry — the
+    /// `--trace-json` artifact: one full [`SearchStats::to_json`] object
+    /// per algorithm, summed over every scenario of the sweep.
+    pub fn trace_json(&self) -> String {
+        let entries: Vec<String> = self
+            .search_stats
+            .iter()
+            .map(|s| {
+                let body = s.to_json().lines().collect::<Vec<_>>().join("\n  ");
+                format!("  \"{}\": {}", s.algorithm, body)
+            })
+            .collect();
+        format!(
+            "{{\n  \"scenarios\": {},\n{}\n}}\n",
+            self.scenarios.len(),
+            entries.join(",\n")
+        )
     }
 
     /// Serialize to the `CONFORMANCE.json` document.
@@ -204,8 +227,9 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Run one scenario through all its checks.
-fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig) -> ScenarioOutcome {
+/// Run one scenario through all its checks. Each search run's telemetry is
+/// absorbed into `agg` (indexed in ES, HS, HS-Greedy order).
+fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig, agg: &mut [SearchStats; 3]) -> ScenarioOutcome {
     let exec = scenario_executor(&s.workflow, cfg.rows_per_source, s.seed);
     let oracle = match Oracle::new(&s.workflow, exec) {
         Ok(o) => o,
@@ -234,7 +258,7 @@ fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig) -> ScenarioOutcome {
     ];
 
     let mut checks = Vec::new();
-    for (name, algo) in &algos {
+    for (i, (name, algo)) in algos.iter().enumerate() {
         let outcome = match algo.run(&s.workflow, &model) {
             Ok(o) => o,
             Err(e) => {
@@ -247,6 +271,7 @@ fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig) -> ScenarioOutcome {
                 continue;
             }
         };
+        agg[i].absorb(&outcome.stats);
         let v = oracle.check(&outcome.best);
         checks.push(CheckOutcome {
             kind: (*name).into(),
@@ -341,9 +366,14 @@ pub fn run_corpus(
     let mut scenarios = Vec::with_capacity(total);
     let mut failed = Vec::new();
     let (mut checks, mut passed, mut warnings) = (0usize, 0usize, 0usize);
+    let mut agg = [
+        SearchStats::new("ES"),
+        SearchStats::new("HS"),
+        SearchStats::new("HS-Greedy"),
+    ];
 
     for (i, s) in suite.iter().enumerate() {
-        let outcome = sweep_scenario(s, cfg);
+        let outcome = sweep_scenario(s, cfg, &mut agg);
         for c in &outcome.checks {
             checks += 1;
             warnings += c.warnings;
@@ -382,6 +412,7 @@ pub fn run_corpus(
         passed,
         warnings,
         elapsed_secs: started.elapsed().as_secs_f64(),
+        search_stats: agg.to_vec(),
     }
 }
 
@@ -414,5 +445,16 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"pass_rate\": 1.0000"));
         assert!(json.contains("\"checks\": 16"));
+        // The aggregated telemetry covers all three algorithms and its
+        // summed accounting still reconciles.
+        assert_eq!(report.search_stats.len(), 3);
+        for s in &report.search_stats {
+            assert!(s.generated > 0, "{} absorbed no runs", s.algorithm);
+            assert!(s.reconciles(), "{}: {}", s.algorithm, s.counters_json());
+        }
+        let trace = report.trace_json();
+        for algo in ["\"ES\"", "\"HS\"", "\"HS-Greedy\""] {
+            assert!(trace.contains(algo), "{trace}");
+        }
     }
 }

@@ -103,6 +103,27 @@ impl Op {
             Op::Binary(_) => 2,
         }
     }
+
+    /// The unary link chain: a one-element slice for [`Op::Unary`], the full
+    /// chain for [`Op::Merged`], `None` for [`Op::Binary`]. Callers that have
+    /// already checked arity can `ok_or` a typed error instead of carrying an
+    /// `unreachable!` arm through a second match.
+    pub fn unary_chain(&self) -> Option<&[UnaryOp]> {
+        match self {
+            Op::Unary(op) => Some(std::slice::from_ref(op)),
+            Op::Merged(chain) => Some(chain),
+            Op::Binary(_) => None,
+        }
+    }
+
+    /// The binary operator, `None` for unary and merged activities — the
+    /// arity-2 counterpart of [`Op::unary_chain`].
+    pub fn binary(&self) -> Option<&BinaryOp> {
+        match self {
+            Op::Binary(op) => Some(op),
+            Op::Unary(_) | Op::Merged(_) => None,
+        }
+    }
 }
 
 /// An activity node: identifier, semantics and (cached) schemata.
@@ -242,11 +263,7 @@ impl Activity {
     /// for a plain unary activity, the full chain for a merged one, `None`
     /// for binary activities.
     pub fn unary_links(&self) -> Option<&[UnaryOp]> {
-        match &self.op {
-            Op::Unary(op) => Some(std::slice::from_ref(op)),
-            Op::Merged(chain) => Some(chain),
-            Op::Binary(_) => None,
-        }
+        self.op.unary_chain()
     }
 
     /// Homologous-activity test (§3.2): same algebraic expression and same
@@ -403,5 +420,21 @@ mod tests {
     fn join_functionality_is_key() {
         let j = binary(4, "J", BinaryOp::Join(vec![Attr::new("k")]));
         assert_eq!(j.functionality(), Schema::of(["k"]));
+    }
+
+    #[test]
+    fn op_accessors_are_total_inverses_by_arity() {
+        let una = Op::Unary(UnaryOp::filter(Predicate::True));
+        let mer = Op::Merged(vec![
+            UnaryOp::filter(Predicate::True),
+            UnaryOp::filter(Predicate::True),
+        ]);
+        let bin = Op::Binary(BinaryOp::Union);
+        assert_eq!(una.unary_chain().map(<[_]>::len), Some(1));
+        assert_eq!(mer.unary_chain().map(<[_]>::len), Some(2));
+        assert!(bin.unary_chain().is_none());
+        assert_eq!(bin.binary(), Some(&BinaryOp::Union));
+        assert!(una.binary().is_none());
+        assert!(mer.binary().is_none());
     }
 }

@@ -271,14 +271,33 @@ impl CostVec {
         }
     }
 
-    /// Rows flowing out of `id` (0.0 for ids this vec never priced).
+    /// Rows flowing out of `id`.
+    ///
+    /// An id beyond this vec's slot capacity was never priced by it —
+    /// almost always a node id from a *different* state's arena. Release
+    /// builds keep the historical lenient `0.0` (callers aggregate over
+    /// live nodes and a dead slot contributes nothing); debug builds fail
+    /// hard so the mixed-up arena is caught at the source.
     pub fn rows_out(&self, id: NodeId) -> f64 {
-        self.rows.get(id.0 as usize).copied().unwrap_or(0.0)
+        let slot = id.0 as usize;
+        debug_assert!(
+            slot < self.rows.len(),
+            "rows_out({id}): slot {slot} outside capacity {} — node from another arena?",
+            self.rows.len()
+        );
+        self.rows.get(slot).copied().unwrap_or(0.0)
     }
 
-    /// Cost charged to `id` (0.0 for recordsets and unpriced ids).
+    /// Cost charged to `id` (0.0 for recordsets). Same out-of-range policy
+    /// as [`CostVec::rows_out`]: lenient in release, hard error in debug.
     pub fn node_cost(&self, id: NodeId) -> f64 {
-        self.node_cost.get(id.0 as usize).copied().unwrap_or(0.0)
+        let slot = id.0 as usize;
+        debug_assert!(
+            slot < self.node_cost.len(),
+            "node_cost({id}): slot {slot} outside capacity {} — node from another arena?",
+            self.node_cost.len()
+        );
+        self.node_cost.get(slot).copied().unwrap_or(0.0)
     }
 
     /// Slot-order sum over the live graph. Both `price` and `reprice_along`
@@ -435,6 +454,79 @@ mod tests {
         assert!((inc.total - full.total).abs() < 1e-9);
         assert_eq!(inc.per_node, full.per_node);
         assert_eq!(inc.rows, full.rows);
+    }
+
+    #[test]
+    fn every_live_node_of_a_priced_state_has_a_slot() {
+        // Property: however a state was reached — from-scratch pricing or a
+        // chain of delta reprices across transitions that free and reuse
+        // arena slots — every live node of the priced workflow answers
+        // `rows_out`/`node_cost` from a real slot (the accessors' lenient
+        // out-of-range fallback is never taken), and the per-node costs
+        // agree with a from-scratch report.
+        use crate::opt::MoveMemo;
+        use crate::rng::Rng;
+        let m = RowCountModel::default();
+        let memo = MoveMemo::new();
+        for seed in 0..8u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut b = WorkflowBuilder::new();
+            let s1 = b.source("S1", Schema::of(["k", "v"]), 64.0);
+            let s2 = b.source("S2", Schema::of(["k", "v"]), 32.0);
+            let u = b.binary("U", BinaryOp::Union, s1, s2);
+            let sel = b.unary(
+                "σ",
+                UnaryOp::filter(Predicate::gt("v", 0)).with_selectivity(0.5),
+                u,
+            );
+            let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), sel);
+            b.target("T", Schema::of(["sk", "v"]), sk);
+            let mut wf = b.build().unwrap();
+            let mut cv = m.price(&wf).unwrap();
+            for _ in 0..6 {
+                let applicable: Vec<_> = memo
+                    .moves(&wf)
+                    .unwrap()
+                    .into_iter()
+                    .filter_map(|mv| mv.apply(&wf).ok().map(|next| (mv, next)))
+                    .collect();
+                if applicable.is_empty() {
+                    break;
+                }
+                let (mv, next) = &applicable[rng.gen_range(0..applicable.len())];
+                cv = m.reprice_from(next, &cv, &mv.affected(&wf)).unwrap();
+                wf = next.clone();
+                let report = m.report(&wf).unwrap();
+                for (id, _) in wf.graph().iter() {
+                    let rows = cv.rows_out(id);
+                    let cost = cv.node_cost(id);
+                    assert!(rows.is_finite() && cost.is_finite(), "seed {seed}, {id}");
+                    assert!(
+                        (cost - report.node_cost(id)).abs() < 1e-9,
+                        "seed {seed}, node {id}: delta {cost} vs full {}",
+                        report.node_cost(id)
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside capacity")]
+    fn rows_out_rejects_foreign_ids_in_debug() {
+        let wf = chain();
+        let cv = RowCountModel::default().price(&wf).unwrap();
+        let _ = cv.rows_out(crate::graph::NodeId(10_000));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside capacity")]
+    fn node_cost_rejects_foreign_ids_in_debug() {
+        let wf = chain();
+        let cv = RowCountModel::default().price(&wf).unwrap();
+        let _ = cv.node_cost(crate::graph::NodeId(10_000));
     }
 
     #[test]

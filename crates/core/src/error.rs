@@ -60,6 +60,16 @@ pub enum CoreError {
         /// States explored before giving up.
         visited: usize,
     },
+    /// A conformance fault-injection site does not describe a valid
+    /// (function, filter) pair on the workflow it was applied to — the
+    /// nodes have the wrong operator kinds, or the site went stale after a
+    /// transition rewired the graph.
+    InvalidFaultSite {
+        /// The offending node of the site.
+        node: NodeId,
+        /// What exactly disqualifies the site.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -101,6 +111,9 @@ impl fmt::Display for CoreError {
             CoreError::Schema(msg) => write!(f, "schema error: {msg}"),
             CoreError::BudgetExhausted { visited } => {
                 write!(f, "search budget exhausted after visiting {visited} states")
+            }
+            CoreError::InvalidFaultSite { node, detail } => {
+                write!(f, "invalid fault-injection site at node {node}: {detail}")
             }
         }
     }

@@ -73,6 +73,7 @@ pub mod semantics;
 pub mod signature;
 pub mod template;
 pub mod text;
+pub mod trace;
 pub mod transition;
 pub mod workflow;
 
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::schema::{Attr, Schema};
     pub use crate::semantics::{AggFunc, Aggregation, BinaryOp, FunctionApp, UnaryOp};
     pub use crate::signature::Signature;
+    pub use crate::trace::{NoopSink, RingSink, SearchStats, TraceEvent, TraceSink};
     pub use crate::transition::{
         Distribute, Factorize, Merge, Split, Swap, Transition, TransitionError, TransitionKind,
     };

@@ -21,6 +21,7 @@ use crate::graph::NodeId;
 use crate::opt::Move;
 use crate::schema_gen;
 use crate::signature::{self, NodeHashes};
+use crate::trace::Rejections;
 use crate::transition::Transition;
 use crate::workflow::Workflow;
 
@@ -35,6 +36,10 @@ pub(crate) struct EvalState {
     pub fp: u128,
     /// Per-node pricing + hashes; `None` in the full-evaluation fallback.
     detail: Option<(CostVec, NodeHashes)>,
+    /// How this state was priced: `true` for the delta path (tables reused
+    /// along the dirty walk), `false` for from-scratch pricing. Telemetry
+    /// only — `detail` presence is what gates the *next* expansion's path.
+    via_delta: bool,
 }
 
 impl EvalState {
@@ -48,6 +53,7 @@ impl EvalState {
                 fp,
                 detail: Some((cost, hashes)),
                 wf,
+                via_delta: false,
             })
         } else {
             let total = model.cost(&wf)?;
@@ -57,24 +63,50 @@ impl EvalState {
                 total,
                 fp,
                 detail: None,
+                via_delta: false,
             })
         }
     }
 
-    /// Expand one enumerated [`Move`]; `None` when it does not apply.
-    pub fn step_move(&self, mv: &Move, model: &dyn CostModel) -> Option<Result<EvalState>> {
-        let next = mv.apply(&self.wf).ok()?;
-        Some(self.step_applied(next, &mv.affected(&self.wf), model))
+    /// Was this state priced through the delta path (per-node tables reused
+    /// along the dirty walk), as opposed to from-scratch pricing?
+    pub fn via_delta(&self) -> bool {
+        self.via_delta
     }
 
-    /// Expand one [`Transition`]; `None` when it does not apply.
+    /// Expand one enumerated [`Move`]; `None` when it does not apply — in
+    /// which case the rejection rule is counted on `rej` rather than
+    /// silently discarded.
+    pub fn step_move(
+        &self,
+        mv: &Move,
+        model: &dyn CostModel,
+        rej: &mut Rejections,
+    ) -> Option<Result<EvalState>> {
+        match mv.apply(&self.wf) {
+            Ok(next) => Some(self.step_applied(next, &mv.affected(&self.wf), model)),
+            Err(e) => {
+                rej.record(&e);
+                None
+            }
+        }
+    }
+
+    /// Expand one [`Transition`]; `None` when it does not apply — the
+    /// rejection rule is counted on `rej`.
     pub fn step_transition<T: Transition>(
         &self,
         t: &T,
         model: &dyn CostModel,
+        rej: &mut Rejections,
     ) -> Option<Result<EvalState>> {
-        let next = t.apply(&self.wf).ok()?;
-        Some(self.step_applied(next, &t.affected(&self.wf), model))
+        match t.apply(&self.wf) {
+            Ok(next) => Some(self.step_applied(next, &t.affected(&self.wf), model)),
+            Err(e) => {
+                rej.record(&e);
+                None
+            }
+        }
     }
 
     /// Price and fingerprint an already-applied successor, reusing this
@@ -97,6 +129,7 @@ impl EvalState {
             fp,
             detail: Some((cost, hashes)),
             wf: next,
+            via_delta: true,
         })
     }
 }

@@ -25,6 +25,7 @@ use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
 use crate::graph::NodeId;
 use crate::opt::{state_total, EvalState, Optimizer, Pacer, SearchBudget, SearchOutcome, Threads};
+use crate::trace::{Collector, Rejections, Span, TraceEvent, TraceSink};
 use crate::transition::{Distribute, Factorize, Merge, Swap, Transition};
 use crate::workflow::Workflow;
 
@@ -34,9 +35,10 @@ use crate::workflow::Workflow;
 /// coordinator so they surface exactly when the sequential code would have
 /// hit them. The swap phases carry full [`EvalState`]s instead, so swaps —
 /// the bulk of all generated states — are delta-priced and incrementally
-/// fingerprinted against their parent.
-type Eval = Option<(u128, Workflow, Result<f64>)>;
-type DeltaEval = Option<Result<EvalState>>;
+/// fingerprinted against their parent. Each worker item also returns its
+/// rejection-rule counter deltas, merged by the coordinator in item order.
+type Eval = (Option<(u128, Workflow, Result<f64>)>, Rejections);
+type DeltaEval = (Option<Result<EvalState>>, Rejections);
 
 /// The HS algorithm (Fig. 7).
 #[derive(Debug, Clone, Default)]
@@ -75,8 +77,13 @@ impl Optimizer for HeuristicSearch {
         "HS"
     }
 
-    fn run(&self, wf: &Workflow, model: &dyn CostModel) -> Result<SearchOutcome> {
-        Runner::new(model, self.budget, false).run(wf, &self.merge_constraints)
+    fn run_traced(
+        &self,
+        wf: &Workflow,
+        model: &dyn CostModel,
+        sink: &dyn TraceSink,
+    ) -> Result<SearchOutcome> {
+        Runner::new(model, self.budget, false, sink).run(wf, &self.merge_constraints)
     }
 }
 
@@ -109,8 +116,13 @@ impl Optimizer for HsGreedy {
         "HS-Greedy"
     }
 
-    fn run(&self, wf: &Workflow, model: &dyn CostModel) -> Result<SearchOutcome> {
-        Runner::new(model, self.budget, true).run(wf, &self.merge_constraints)
+    fn run_traced(
+        &self,
+        wf: &Workflow,
+        model: &dyn CostModel,
+        sink: &dyn TraceSink,
+    ) -> Result<SearchOutcome> {
+        Runner::new(model, self.budget, true, sink).run(wf, &self.merge_constraints)
     }
 }
 
@@ -128,10 +140,17 @@ struct Runner<'m> {
     /// the budget and the group count so Phase I cannot starve the
     /// Factorize/Distribute phases.
     group_cap: usize,
+    col: Collector,
+    sink: &'m dyn TraceSink,
 }
 
 impl<'m> Runner<'m> {
-    fn new(model: &'m dyn CostModel, budget: SearchBudget, greedy: bool) -> Self {
+    fn new(
+        model: &'m dyn CostModel,
+        budget: SearchBudget,
+        greedy: bool,
+        sink: &'m dyn TraceSink,
+    ) -> Self {
         let started = Instant::now();
         Runner {
             model,
@@ -144,15 +163,29 @@ impl<'m> Runner<'m> {
             visited_states: 0,
             budget_exhausted: false,
             group_cap: 5040,
+            col: Collector::new(if greedy { "HS-Greedy" } else { "HS" }),
+            sink,
+        }
+    }
+
+    fn algorithm(&self) -> &'static str {
+        if self.greedy {
+            "HS-Greedy"
+        } else {
+            "HS"
         }
     }
 
     /// Account one costed state against the budget: unique states count
     /// toward `max_states`, and every call ticks the throttled wall-clock
-    /// watchdog.
-    fn record_fp(&mut self, fp: u128) {
+    /// watchdog. `via_delta` says how the state was priced when it was
+    /// created (delta repricing vs full pricing).
+    fn record_eval(&mut self, fp: u128, via_delta: bool) {
+        self.col.evaluated(via_delta);
         if self.seen.insert(fp) {
             self.visited_states += 1;
+        } else {
+            self.col.deduplicated();
         }
         if self.pacer.tick() {
             self.budget_exhausted = true;
@@ -204,13 +237,18 @@ impl<'m> Runner<'m> {
         // boundaries re-sample unconditionally so a slow phase cannot hide
         // a blown time budget from the next one.
         let mut phase_stats: Vec<crate::opt::PhaseStat> = Vec::new();
+        self.phase_started("I swaps");
+        let span = Span::start("I swaps");
         let smin_state = self.phase_swaps(EvalState::full(s0.clone(), self.model)?)?;
-        self.record_fp(smin_state.fp);
+        self.record_eval(smin_state.fp, smin_state.via_delta());
         let mut smin = smin_state.wf;
         let mut smin_cost = smin_state.total;
         if self.pacer.check_now() {
             self.budget_exhausted = true;
         }
+        self.col.frontier(1);
+        self.col.span(span);
+        self.phase_finished("I swaps", smin_cost);
         phase_stats.push(crate::opt::PhaseStat {
             phase: "I swaps",
             best_cost: smin_cost,
@@ -224,6 +262,8 @@ impl<'m> Runner<'m> {
         /// chains are short (each activity factorizes/distributes once per
         /// lineage); past this, additional interleavings are redundant.
         const COLLECT_CAP: usize = 192;
+        self.phase_started("II factorize");
+        let span = Span::start("II factorize");
         let mut collected: Vec<Workflow> = vec![smin.clone()];
         let mut produced: HashSet<u128> = HashSet::new();
         produced.insert(smin.fingerprint());
@@ -232,31 +272,48 @@ impl<'m> Runner<'m> {
             if collected.len() >= COLLECT_CAP {
                 break;
             }
+            self.col.expanded(si.fingerprint());
             // Shift + factorize + price every H candidate on the worker
             // pool; the merge below consumes the results in enumeration
             // order, so dedup, budget accounting and the running best are
             // identical for any thread count.
             let model = self.model;
             let evals: Vec<Eval> = self.threads.map(&h, |(a1, a2, ab)| {
-                let n1 = a1.locate(&si)?;
-                let n2 = a2.locate(&si)?;
-                let nb = ab.locate(&si)?;
-                let s = shift_frw(&si, n1, nb)?;
-                let s = shift_frw(&s, n2, nb)?;
-                let snew = Factorize::new(nb, n1, n2).apply(&s).ok()?;
-                let c = state_total(model, &snew);
-                Some((snew.fingerprint(), snew, c))
+                let mut rej = Rejections::default();
+                let out = (|| {
+                    let n1 = a1.locate(&si)?;
+                    let n2 = a2.locate(&si)?;
+                    let nb = ab.locate(&si)?;
+                    let s = shift_frw_counted(&si, n1, nb, &mut rej)?;
+                    let s = shift_frw_counted(&s, n2, nb, &mut rej)?;
+                    let snew = match Factorize::new(nb, n1, n2).apply(&s) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            rej.record(&e);
+                            return None;
+                        }
+                    };
+                    let c = state_total(model, &snew);
+                    Some((snew.fingerprint(), snew, c))
+                })();
+                (out, rej)
             });
-            for eval in evals {
+            // Rejections first, over *every* item: the workers evaluated
+            // them all, so counting must not depend on where the budget
+            // stops the merge below.
+            for (_, rej) in &evals {
+                self.col.rejections(rej);
+            }
+            for (eval, _) in evals {
                 if self.out_of_budget() {
                     break;
                 }
                 let Some((fp, snew, c)) = eval else { continue };
+                let c = c?;
+                self.record_eval(fp, false);
                 if !produced.insert(fp) {
                     continue;
                 }
-                let c = c?;
-                self.record_fp(fp);
                 if c < smin_cost {
                     smin = snew.clone();
                     smin_cost = c;
@@ -271,6 +328,9 @@ impl<'m> Runner<'m> {
         if self.pacer.check_now() {
             self.budget_exhausted = true;
         }
+        self.col.frontier(collected.len());
+        self.col.span(span);
+        self.phase_finished("II factorize", smin_cost);
         phase_stats.push(crate::opt::PhaseStat {
             phase: "II factorize",
             best_cost: smin_cost,
@@ -281,30 +341,46 @@ impl<'m> Runner<'m> {
         // state — again worklist-chained, so several activities can be
         // distributed in sequence (DIS σ then DIS SK). Activities
         // factorized in Phase II are not in D (Heuristic 2).
+        self.phase_started("III distribute");
+        let span = Span::start("III distribute");
         let mut worklist: Vec<Workflow> = collected.clone();
         while let Some(si) = worklist.pop() {
             if collected.len() >= COLLECT_CAP {
                 break;
             }
+            self.col.expanded(si.fingerprint());
             let model = self.model;
             let evals: Vec<Eval> = self.threads.map(&d, |(a, ab)| {
-                let na = a.locate(&si)?;
-                let nb = ab.locate(&si)?;
-                let s = shift_bkw(&si, na, nb)?;
-                let snew = Distribute::new(nb, na).apply(&s).ok()?;
-                let c = state_total(model, &snew);
-                Some((snew.fingerprint(), snew, c))
+                let mut rej = Rejections::default();
+                let out = (|| {
+                    let na = a.locate(&si)?;
+                    let nb = ab.locate(&si)?;
+                    let s = shift_bkw_counted(&si, na, nb, &mut rej)?;
+                    let snew = match Distribute::new(nb, na).apply(&s) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            rej.record(&e);
+                            return None;
+                        }
+                    };
+                    let c = state_total(model, &snew);
+                    Some((snew.fingerprint(), snew, c))
+                })();
+                (out, rej)
             });
-            for eval in evals {
+            for (_, rej) in &evals {
+                self.col.rejections(rej);
+            }
+            for (eval, _) in evals {
                 if self.out_of_budget() {
                     break;
                 }
                 let Some((fp, snew, c)) = eval else { continue };
+                let c = c?;
+                self.record_eval(fp, false);
                 if !produced.insert(fp) {
                     continue;
                 }
-                let c = c?;
-                self.record_fp(fp);
                 if c < smin_cost {
                     smin = snew.clone();
                     smin_cost = c;
@@ -319,6 +395,9 @@ impl<'m> Runner<'m> {
         if self.pacer.check_now() {
             self.budget_exhausted = true;
         }
+        self.col.frontier(collected.len());
+        self.col.span(span);
+        self.phase_finished("III distribute", smin_cost);
         phase_stats.push(crate::opt::PhaseStat {
             phase: "III distribute",
             best_cost: smin_cost,
@@ -330,6 +409,8 @@ impl<'m> Runner<'m> {
         // the most promising ones, so the swap re-optimization budget goes
         // to candidates that can actually beat S_MIN.
         const PHASE4_CAP: usize = 6;
+        self.phase_started("IV swaps");
+        let span = Span::start("IV swaps");
         let model = self.model;
         let costs: Vec<Result<f64>> = self.threads.map(&collected, |s| state_total(model, s));
         let mut ranked: Vec<(f64, &Workflow)> = costs
@@ -338,12 +419,13 @@ impl<'m> Runner<'m> {
             .map(|(c, s)| Ok((c?, s)))
             .collect::<Result<_>>()?;
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let pool = ranked.len().min(PHASE4_CAP);
         for (_, si) in ranked.into_iter().take(PHASE4_CAP) {
             if self.out_of_budget() {
                 break;
             }
             let cand = self.phase_swaps(EvalState::full(si.clone(), self.model)?)?;
-            self.record_fp(cand.fp);
+            self.record_eval(cand.fp, cand.via_delta());
             if cand.total < smin_cost {
                 smin = cand.wf;
                 smin_cost = cand.total;
@@ -353,6 +435,9 @@ impl<'m> Runner<'m> {
         if self.pacer.check_now() {
             self.budget_exhausted = true;
         }
+        self.col.frontier(pool);
+        self.col.span(span);
+        self.phase_finished("IV swaps", smin_cost);
         phase_stats.push(crate::opt::PhaseStat {
             phase: "IV swaps",
             best_cost: smin_cost,
@@ -366,6 +451,13 @@ impl<'m> Runner<'m> {
             smin_cost = state_total(self.model, &smin)?;
         }
 
+        self.col.worker_batches(self.threads.batch_counts());
+        self.sink.event(TraceEvent::Finished {
+            algorithm: self.algorithm(),
+            best_cost: smin_cost,
+            visited: self.visited_states,
+            budget_exhausted: self.budget_exhausted,
+        });
         Ok(SearchOutcome {
             best: smin,
             best_cost: smin_cost,
@@ -374,7 +466,24 @@ impl<'m> Runner<'m> {
             elapsed: self.started.elapsed(),
             budget_exhausted: self.budget_exhausted,
             phase_stats,
+            stats: self.col.finish(),
         })
+    }
+
+    fn phase_started(&mut self, phase: &'static str) {
+        self.sink.event(TraceEvent::PhaseStarted {
+            algorithm: self.algorithm(),
+            phase,
+        });
+    }
+
+    fn phase_finished(&mut self, phase: &'static str, best_cost: f64) {
+        self.sink.event(TraceEvent::PhaseFinished {
+            algorithm: self.algorithm(),
+            phase,
+            best_cost,
+            visited: self.visited_states,
+        });
     }
 
     /// Phase I / Phase IV: optimize the swap order inside each local group
@@ -444,8 +553,8 @@ impl<'m> Runner<'m> {
         let climbed = self.swap_hill_climb(&state, members)?;
         let climbed_cost = climbed.total;
         let start_cost = state.total;
-        self.record_fp(state.fp);
-        self.record_fp(climbed.fp);
+        self.record_eval(state.fp, state.via_delta());
+        self.record_eval(climbed.fp, climbed.via_delta());
         let (mut best, mut best_cost) = if climbed_cost <= start_cost {
             (climbed.clone(), climbed_cost)
         } else {
@@ -465,18 +574,26 @@ impl<'m> Runner<'m> {
             }
             let s = states[idx].clone();
             expanded += 1;
+            self.col.expanded(s.fp);
             // Apply and delta-price this state's group swaps on the worker
             // pool; dedup and the heap pushes stay in enumeration order.
             let moves = group_swaps(&s.wf, members)?;
             let model = self.model;
-            let evals: Vec<DeltaEval> = self.threads.map(&moves, |sw| s.step_transition(sw, model));
-            for eval in evals {
+            let evals: Vec<DeltaEval> = self.threads.map(&moves, |sw| {
+                let mut rej = Rejections::default();
+                let out = s.step_transition(sw, model, &mut rej);
+                (out, rej)
+            });
+            for (_, rej) in &evals {
+                self.col.rejections(rej);
+            }
+            for (eval, _) in evals {
                 let Some(res) = eval else { continue };
                 let next = res?;
+                self.record_eval(next.fp, next.via_delta());
                 if !seen.insert(next.fp) {
                     continue;
                 }
-                self.record_fp(next.fp);
                 if next.total < best_cost {
                     best_cost = next.total;
                     best = next.clone();
@@ -497,25 +614,31 @@ impl<'m> Runner<'m> {
         members: &BTreeSet<NodeId>,
     ) -> Result<EvalState> {
         let mut current = state.clone();
-        self.record_fp(current.fp);
+        self.record_eval(current.fp, current.via_delta());
         loop {
             if self.out_of_budget() {
                 break;
             }
+            self.col.expanded(current.fp);
             // Evaluate every candidate swap of this climb step in
             // parallel; the best-improving pick below scans in enumeration
             // order, so ties resolve identically for any thread count.
             let moves = group_swaps(&current.wf, members)?;
             let model = self.model;
             let cur = &current;
-            let evals: Vec<DeltaEval> = self
-                .threads
-                .map(&moves, |sw| cur.step_transition(sw, model));
+            let evals: Vec<DeltaEval> = self.threads.map(&moves, |sw| {
+                let mut rej = Rejections::default();
+                let out = cur.step_transition(sw, model, &mut rej);
+                (out, rej)
+            });
+            for (_, rej) in &evals {
+                self.col.rejections(rej);
+            }
             let mut improved: Option<EvalState> = None;
-            for eval in evals {
+            for (eval, _) in evals {
                 let Some(res) = eval else { continue };
                 let next = res?;
-                self.record_fp(next.fp);
+                self.record_eval(next.fp, next.via_delta());
                 if next.total < current.total
                     && improved
                         .as_ref()
@@ -545,7 +668,7 @@ impl<'m> Runner<'m> {
         members: &BTreeSet<NodeId>,
     ) -> Result<EvalState> {
         let mut current = state;
-        self.record_fp(current.fp);
+        self.record_eval(current.fp, current.via_delta());
         // The group's pair list is taken up front, as in Fig. 7; a pair
         // consumed by an earlier swap may no longer be adjacent, in which
         // case `apply` refuses and the sweep moves on.
@@ -560,19 +683,28 @@ impl<'m> Runner<'m> {
         let moves = group_swaps(&current.wf, members)?;
         let mut start = 0;
         while start < moves.len() {
+            self.col.expanded(current.fp);
             let model = self.model;
             let cur = &current;
-            let evals: Vec<DeltaEval> = self
-                .threads
-                .map(&moves[start..], |sw| cur.step_transition(sw, model));
+            let evals: Vec<DeltaEval> = self.threads.map(&moves[start..], |sw| {
+                let mut rej = Rejections::default();
+                let out = cur.step_transition(sw, model, &mut rej);
+                (out, rej)
+            });
+            // Count rejections across the whole speculative batch — the
+            // workers evaluated every remaining pair, including the stale
+            // tail the acceptance below throws away.
+            for (_, rej) in &evals {
+                self.col.rejections(rej);
+            }
             let mut advance: Option<(EvalState, usize)> = None;
-            for (off, eval) in evals.into_iter().enumerate() {
+            for (off, (eval, _)) in evals.into_iter().enumerate() {
                 if self.out_of_budget() {
                     break;
                 }
                 let Some(res) = eval else { continue };
                 let next = res?;
-                self.record_fp(next.fp);
+                self.record_eval(next.fp, next.via_delta());
                 if next.total < current.total {
                     advance = Some((next, start + off + 1));
                     break;
@@ -610,6 +742,17 @@ fn group_swaps(wf: &Workflow, members: &BTreeSet<NodeId>) -> Result<Vec<Swap>> {
 /// successive swaps until it is the direct provider of `a_b`. `None` if
 /// some swap on the way is not applicable.
 pub fn shift_frw(wf: &Workflow, a: NodeId, ab: NodeId) -> Option<Workflow> {
+    shift_frw_counted(wf, a, ab, &mut Rejections::default())
+}
+
+/// [`shift_frw`], with every refused swap on the way counted on `rej` by
+/// its rejection rule.
+fn shift_frw_counted(
+    wf: &Workflow,
+    a: NodeId,
+    ab: NodeId,
+    rej: &mut Rejections,
+) -> Option<Workflow> {
     let mut cur = wf.clone();
     for _ in 0..cur.activity_count() + 1 {
         let consumers = cur.graph().consumers(a).ok()?;
@@ -620,7 +763,13 @@ pub fn shift_frw(wf: &Workflow, a: NodeId, ab: NodeId) -> Option<Workflow> {
         if c == ab {
             return Some(cur);
         }
-        cur = Swap::new(a, c).apply(&cur).ok()?;
+        match Swap::new(a, c).apply(&cur) {
+            Ok(next) => cur = next,
+            Err(e) => {
+                rej.record(&e);
+                return None;
+            }
+        }
     }
     None
 }
@@ -628,13 +777,29 @@ pub fn shift_frw(wf: &Workflow, a: NodeId, ab: NodeId) -> Option<Workflow> {
 /// `ShiftBkw(a, a_b)` (Fig. 7): pull `a` backward through its local group
 /// until its provider is `a_b`. `None` if blocked.
 pub fn shift_bkw(wf: &Workflow, a: NodeId, ab: NodeId) -> Option<Workflow> {
+    shift_bkw_counted(wf, a, ab, &mut Rejections::default())
+}
+
+/// [`shift_bkw`], with every refused swap on the way counted on `rej`.
+fn shift_bkw_counted(
+    wf: &Workflow,
+    a: NodeId,
+    ab: NodeId,
+    rej: &mut Rejections,
+) -> Option<Workflow> {
     let mut cur = wf.clone();
     for _ in 0..cur.activity_count() + 1 {
         let p = cur.graph().provider(a, 0).ok()??;
         if p == ab {
             return Some(cur);
         }
-        cur = Swap::new(p, a).apply(&cur).ok()?;
+        match Swap::new(p, a).apply(&cur) {
+            Ok(next) => cur = next,
+            Err(e) => {
+                rej.record(&e);
+                return None;
+            }
+        }
     }
     None
 }

@@ -15,7 +15,7 @@ mod parallel;
 
 pub(crate) use eval::{state_total, EvalState};
 pub use exhaustive::ExhaustiveSearch;
-pub use heuristic::{HeuristicSearch, HsGreedy};
+pub use heuristic::{shift_bkw, shift_frw, HeuristicSearch, HsGreedy};
 pub use memo::MoveMemo;
 pub(crate) use parallel::Threads;
 
@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use crate::cost::CostModel;
 use crate::error::Result;
 use crate::graph::NodeId;
+use crate::trace::{NoopSink, SearchStats, TraceSink};
 use crate::transition::{Distribute, Factorize, Swap, Transition, TransitionError};
 use crate::workflow::Workflow;
 
@@ -239,6 +240,11 @@ pub struct SearchOutcome {
     /// the best cost and cumulative visited-state count after each of the
     /// Fig. 7 phases. Empty for ES.
     pub phase_stats: Vec<PhaseStat>,
+    /// Uniform search telemetry: state accounting, rejection-rule counters,
+    /// frontier sizes, evaluation-path split, memo effectiveness, phase
+    /// timing. The same schema for all three algorithms; see
+    /// [`crate::trace`] for which fields are deterministic.
+    pub stats: SearchStats,
 }
 
 /// Snapshot of a search after one of its phases (Fig. 7 structure).
@@ -270,8 +276,22 @@ pub trait Optimizer {
     /// Algorithm name as used in the paper's tables.
     fn name(&self) -> &str;
 
-    /// Optimize `wf` under `model`.
-    fn run(&self, wf: &Workflow, model: &dyn CostModel) -> Result<SearchOutcome>;
+    /// Optimize `wf` under `model` with the default (no-op) trace sink.
+    /// Counters on [`SearchOutcome::stats`] are collected either way — they
+    /// are plain integer adds — but no events are emitted.
+    fn run(&self, wf: &Workflow, model: &dyn CostModel) -> Result<SearchOutcome> {
+        self.run_traced(wf, model, &NoopSink)
+    }
+
+    /// Optimize `wf` under `model`, emitting coarse-grained
+    /// [`crate::trace::TraceEvent`]s (per phase / BFS generation, never per
+    /// state) to `sink`.
+    fn run_traced(
+        &self,
+        wf: &Workflow,
+        model: &dyn CostModel,
+        sink: &dyn TraceSink,
+    ) -> Result<SearchOutcome>;
 }
 
 #[cfg(test)]
@@ -339,6 +359,7 @@ mod tests {
             elapsed: Duration::ZERO,
             budget_exhausted: false,
             phase_stats: Vec::new(),
+            stats: SearchStats::new("ES"),
         };
         assert!((out.improvement_pct() - 70.0).abs() < 1e-9);
     }

@@ -19,13 +19,18 @@
 //! meaningful balance (a batch is at most ~1/8th of one worker's fair
 //! share).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// A worker-count handle; see [`Threads::map`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub(crate) struct Threads {
     n: usize,
+    /// Batches of work claimed per worker index, across every `map` call of
+    /// this pool's lifetime. Runtime telemetry only: the claim cursor races
+    /// under parallelism, so the split across workers is not deterministic
+    /// (the *results* of `map` still are — they come back in input order).
+    batches: Vec<AtomicU64>,
 }
 
 impl Threads {
@@ -36,7 +41,20 @@ impl Threads {
 
     /// A pool of `n` workers (clamped to at least 1).
     pub(crate) fn new(n: usize) -> Self {
-        Threads { n: n.max(1) }
+        let n = n.max(1);
+        Threads {
+            n,
+            batches: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Batches claimed per worker index so far (inline maps count one batch
+    /// against worker 0).
+    pub(crate) fn batch_counts(&self) -> Vec<u64> {
+        self.batches
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Evaluate `f` over `items`, returning results in input order.
@@ -51,6 +69,9 @@ impl Threads {
         F: Fn(&T) -> R + Sync,
     {
         if self.n == 1 || items.len() < Self::MIN_PAR_ITEMS {
+            if !items.is_empty() {
+                self.batches[0].fetch_add(1, Ordering::Relaxed);
+            }
             return items.iter().map(f).collect();
         }
         let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
@@ -60,12 +81,17 @@ impl Threads {
         // cutting cursor traffic by ~batch×.
         let batch = (items.len() / (workers * 8)).max(1);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            for w in 0..workers {
+                let claimed = &self.batches[w];
+                scope.spawn(move || loop {
                     let start = cursor.fetch_add(batch, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
                     }
+                    claimed.fetch_add(1, Ordering::Relaxed);
                     let end = (start + batch).min(items.len());
                     for i in start..end {
                         // A slot is claimed by exactly one worker (the
@@ -118,6 +144,24 @@ mod tests {
         let items: Vec<usize> = (0..1000).collect();
         let out = Threads::new(3).map(&items, |&x| x + 1);
         assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_counts_cover_all_claims() {
+        let t = Threads::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let _ = t.map(&items, |&x| x);
+        let counts = t.batch_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().sum::<u64>() > 0);
+        // The inline path counts one batch against worker 0.
+        let t1 = Threads::new(1);
+        let _ = t1.map(&items, |&x| x);
+        assert_eq!(t1.batch_counts(), vec![1]);
+        // An empty map claims nothing.
+        let t0 = Threads::new(1);
+        let _ = t0.map(&[] as &[usize], |&x| x);
+        assert_eq!(t0.batch_counts(), vec![0]);
     }
 
     #[test]

@@ -247,17 +247,34 @@ fn rename_attr(p: &mut Predicate, from: &Attr, to: &Attr) {
 /// the predicate's decision boundary.
 pub fn apply_faulty_pushdown(wf: &Workflow, site: FaultySite) -> Result<Workflow> {
     let (f, s) = (site.function, site.filter);
-    // Re-validate the site on this workflow.
-    if !faulty_pushdown_sites(wf)?.contains(&site) {
-        return Err(CoreError::UnknownNode(f));
-    }
-    let (from, to) = {
-        let act = wf.graph.activity(f)?;
-        match &act.op {
-            Op::Unary(UnaryOp::Function(app)) => (app.output.clone(), app.inputs[0].clone()),
-            _ => return Err(CoreError::UnknownNode(f)),
+    // Shape guards first, with typed diagnostics: a site whose nodes are
+    // not a (function, filter) pair can never become valid, so it deserves
+    // better than the generic stale-site error below. `activity` itself
+    // rejects recordset ids and ids from another arena.
+    let (from, to) = match &wf.graph.activity(f)?.op {
+        Op::Unary(UnaryOp::Function(app)) => (app.output.clone(), app.inputs[0].clone()),
+        _ => {
+            return Err(CoreError::InvalidFaultSite {
+                node: f,
+                detail: "site.function is not an attribute-generating function activity".into(),
+            })
         }
     };
+    if !matches!(&wf.graph.activity(s)?.op, Op::Unary(UnaryOp::Filter { .. })) {
+        return Err(CoreError::InvalidFaultSite {
+            node: s,
+            detail: "site.filter is not a filter activity".into(),
+        });
+    }
+    // Re-validate the full site shape (single consumer, generated attribute
+    // referenced, evaluable rewrite) on *this* workflow: sites go stale
+    // once a transition rewires the graph around them.
+    if !faulty_pushdown_sites(wf)?.contains(&site) {
+        return Err(CoreError::InvalidFaultSite {
+            node: f,
+            detail: "site does not match this workflow (stale after a rewrite?)".into(),
+        });
+    }
 
     let mut out = wf.clone();
     let prov = out
@@ -272,8 +289,16 @@ pub fn apply_faulty_pushdown(wf: &Workflow, site: FaultySite) -> Result<Workflow
     out.graph.connect(s, f, 0)?;
 
     let act = out.graph.activity_mut(s)?;
-    if let Op::Unary(UnaryOp::Filter { predicate, .. }) = &mut act.op {
-        rename_attr(predicate, &from, &to);
+    match &mut act.op {
+        Op::Unary(UnaryOp::Filter { predicate, .. }) => rename_attr(predicate, &from, &to),
+        // Guarded above; keep a typed error rather than silently skipping
+        // the rewrite and returning a workflow that was never spliced.
+        _ => {
+            return Err(CoreError::InvalidFaultSite {
+                node: s,
+                detail: "filter site changed shape during the splice".into(),
+            })
+        }
     }
     out.regenerate_schemata()?;
     Ok(out)
@@ -463,12 +488,58 @@ mod tests {
         let g = bad.graph();
         let filter = g.activity(site.filter).unwrap();
         let Op::Unary(UnaryOp::Filter { predicate, .. }) = &filter.op else {
-            panic!("not a filter");
+            panic!(
+                "pushdown must leave the σ node a filter, found {:?}",
+                filter.op
+            );
         };
         assert!(predicate
             .referenced_attrs()
             .contains(&crate::schema::Attr::new("cost")));
         assert_eq!(g.provider(site.function, 0).unwrap(), Some(site.filter));
+    }
+
+    #[test]
+    fn faulty_pushdown_rejects_malformed_sites_with_typed_errors() {
+        let wf = dollars_then_euro_filter();
+        let real = faulty_pushdown_sites(&wf).unwrap()[0];
+        // "Filter" slot actually holds the function node.
+        let err = apply_faulty_pushdown(
+            &wf,
+            FaultySite {
+                function: real.function,
+                filter: real.function,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidFaultSite { node, .. } if node == real.function),
+            "{err}"
+        );
+        // "Function" slot actually holds the filter node.
+        let err = apply_faulty_pushdown(
+            &wf,
+            FaultySite {
+                function: real.filter,
+                filter: real.filter,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidFaultSite { node, .. } if node == real.filter),
+            "{err}"
+        );
+        // Well-typed but stale: valid node kinds that no longer form a site.
+        let moved = apply_faulty_pushdown(&wf, real).unwrap();
+        let err = apply_faulty_pushdown(&moved, real).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidFaultSite { .. }), "{err}");
+        // A recordset id in either slot reports the graph-level error.
+        let src = wf.sources()[0];
+        let bogus = FaultySite {
+            function: src,
+            filter: real.filter,
+        };
+        assert!(apply_faulty_pushdown(&wf, bogus).is_err());
     }
 
     #[test]

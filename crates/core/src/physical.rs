@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 
 use crate::activity::{Activity, Op};
 use crate::cost::CostModel;
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::graph::{Node, NodeId};
 use crate::schema::Attr;
 use crate::semantics::{BinaryOp, UnaryOp};
@@ -205,12 +205,12 @@ pub fn plan(wf: &Workflow, cfg: &PhysicalConfig) -> Result<PhysicalPlan> {
                     .map(|p| p.map(|p| rows[&p]).unwrap_or(0.0))
                     .collect();
                 match &act.op {
-                    Op::Unary(_) | Op::Merged(_) => {
-                        let op_list: Vec<UnaryOp> = match &act.op {
-                            Op::Unary(op) => vec![op.clone()],
-                            Op::Merged(chain) => chain.clone(),
-                            Op::Binary(_) => unreachable!(),
-                        };
+                    op @ (Op::Unary(_) | Op::Merged(_)) => {
+                        // `unary_chain` is total on these two variants; the
+                        // error arm is unreachable but typed, not a panic.
+                        let op_list = op.unary_chain().ok_or_else(|| {
+                            CoreError::Schema(format!("activity {id} is not unary"))
+                        })?;
                         let p = graph.provider(id, 0)?.expect("validated workflow");
                         for (pi, palt) in frontiers[&p].iter().enumerate() {
                             // Price the chain link by link against this
@@ -220,7 +220,7 @@ pub fn plan(wf: &Workflow, cfg: &PhysicalConfig) -> Result<PhysicalPlan> {
                             let mut cur_order = palt.order.clone();
                             let mut choice = PhysImpl::Scan;
                             let mut feasible = true;
-                            for link in &op_list {
+                            for link in op_list {
                                 if link.is_row_wise() {
                                     cost += n;
                                     if !preserves_order(link, &cur_order) {

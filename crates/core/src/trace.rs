@@ -1,0 +1,702 @@
+//! Structured search telemetry (zero external dependencies).
+//!
+//! The paper's experimental section (Tables 1–2) is about how the search
+//! *behaved* — states visited, pruning effectiveness, per-phase convergence
+//! — not just which state won. This module gives every search run a uniform
+//! account of that behaviour:
+//!
+//! * [`SearchStats`] — flat counters populated by all three algorithms with
+//!   one identical schema: state accounting
+//!   (`generated = deduplicated + expanded + pruned`), delta-vs-full
+//!   evaluation counts, per-generation frontier sizes, move-memo
+//!   effectiveness, and transition attempts broken down by rejection rule
+//!   ([`Rejections`] — the paper's `$2€` applicability rejections are the
+//!   `functionality_violated` counter).
+//! * [`Span`] — a monotonic wall-clock span for coarse phase timing.
+//! * [`TraceSink`] — an event hook for live observation. The default
+//!   [`NoopSink`] keeps the hot path free: events are only constructed at
+//!   coarse boundaries (per BFS generation, per HS phase), and counter
+//!   updates are plain integer adds into a run-local [`Collector`].
+//! * [`RingSink`] — a bounded in-memory event ring for embedders that want
+//!   the last N events without unbounded growth.
+//!
+//! ## Determinism contract
+//!
+//! Everything rendered by [`SearchStats::counters_json`] is **bit-identical
+//! for any worker-thread count**: workers only ever return per-item counter
+//! deltas through [`crate::opt::Threads::map`], whose results come back in
+//! input order, and the single-threaded coordinator merges them in that
+//! order (summed integers are also order-insensitive, so the merge is
+//! doubly safe). `tests/search_determinism.rs` pins the seq-vs-par byte
+//! equality. Wall-clock spans, per-worker batch counts and move-memo
+//! hit/miss counts are *runtime* telemetry — a raced memo lookup may record
+//! a miss on two workers at once — so they are rendered only by
+//! [`SearchStats::to_json`] and excluded from the deterministic projection.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::transition::TransitionError;
+
+/// Transition attempts rejected, broken down by applicability rule — one
+/// counter per [`TransitionError`] variant. The `functionality_violated`
+/// counter is the paper's `$2€`/`σ(€)` guard (Fig. 5): a swap that would
+/// reference an attribute below the function that generates it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rejections {
+    /// `SWA`/`MER` on non-adjacent activities.
+    pub not_adjacent: u64,
+    /// A designated activity is not unary.
+    pub not_unary: u64,
+    /// An output fans out to more than one consumer.
+    pub multiple_consumers: u64,
+    /// Functionality schema violated — the `$2€` case (swap condition 3).
+    pub functionality_violated: u64,
+    /// Input schema would lose provider attributes (swap condition 4).
+    pub provider_violated: u64,
+    /// The pair does not commute as a multiset transformation.
+    pub not_commutative: u64,
+    /// `FAC` on non-homologous activities.
+    pub not_homologous: u64,
+    /// `FAC`/`DIS` anchor is not a binary activity.
+    pub not_binary: u64,
+    /// The activity cannot cross this binary operator.
+    pub not_distributable: u64,
+    /// `SPL` on a non-merged activity.
+    pub not_merged: u64,
+    /// An underlying graph/schema error surfaced by the rewiring.
+    pub graph: u64,
+}
+
+impl Rejections {
+    /// Count one rejection under the rule that produced `e`.
+    pub fn record(&mut self, e: &TransitionError) {
+        match e {
+            TransitionError::NotAdjacent(..) => self.not_adjacent += 1,
+            TransitionError::NotUnary(..) => self.not_unary += 1,
+            TransitionError::MultipleConsumers(..) => self.multiple_consumers += 1,
+            TransitionError::FunctionalityViolated { .. } => self.functionality_violated += 1,
+            TransitionError::ProviderViolated { .. } => self.provider_violated += 1,
+            TransitionError::NotCommutative { .. } => self.not_commutative += 1,
+            TransitionError::NotHomologous(..) => self.not_homologous += 1,
+            TransitionError::NotBinary(..) => self.not_binary += 1,
+            TransitionError::NotDistributable { .. } => self.not_distributable += 1,
+            TransitionError::NotMerged(..) => self.not_merged += 1,
+            TransitionError::Graph(..) => self.graph += 1,
+        }
+    }
+
+    /// Add every counter of `other` into `self` (the coordinator-side merge
+    /// of per-worker-item deltas).
+    pub fn merge(&mut self, other: &Rejections) {
+        self.not_adjacent += other.not_adjacent;
+        self.not_unary += other.not_unary;
+        self.multiple_consumers += other.multiple_consumers;
+        self.functionality_violated += other.functionality_violated;
+        self.provider_violated += other.provider_violated;
+        self.not_commutative += other.not_commutative;
+        self.not_homologous += other.not_homologous;
+        self.not_binary += other.not_binary;
+        self.not_distributable += other.not_distributable;
+        self.not_merged += other.not_merged;
+        self.graph += other.graph;
+    }
+
+    /// Total rejections across all rules.
+    pub fn total(&self) -> u64 {
+        self.as_pairs().iter().map(|(_, v)| v).sum()
+    }
+
+    /// `(rule, count)` pairs in a fixed schema order.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 11] {
+        [
+            ("not_adjacent", self.not_adjacent),
+            ("not_unary", self.not_unary),
+            ("multiple_consumers", self.multiple_consumers),
+            ("functionality_violated", self.functionality_violated),
+            ("provider_violated", self.provider_violated),
+            ("not_commutative", self.not_commutative),
+            ("not_homologous", self.not_homologous),
+            ("not_binary", self.not_binary),
+            ("not_distributable", self.not_distributable),
+            ("not_merged", self.not_merged),
+            ("graph", self.graph),
+        ]
+    }
+}
+
+/// One timed phase of a search run (wall clock; runtime telemetry only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (`"search"` for single-phase ES, the Fig. 7 phase names
+    /// for HS/HS-Greedy).
+    pub phase: &'static str,
+    /// Wall-clock nanoseconds the phase took.
+    pub nanos: u128,
+}
+
+/// A monotonic wall-clock span; [`Span::finish`] records it as a
+/// [`PhaseSpan`] on the stats under construction.
+#[derive(Debug)]
+pub struct Span {
+    phase: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Start timing `phase` now.
+    pub fn start(phase: &'static str) -> Span {
+        Span {
+            phase,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stop the span and append it to `stats`.
+    pub fn finish(self, stats: &mut SearchStats) {
+        stats.phases.push(PhaseSpan {
+            phase: self.phase,
+            nanos: self.started.elapsed().as_nanos(),
+        });
+    }
+}
+
+/// Uniform telemetry of one search run. All three algorithms (ES, HS,
+/// HS-Greedy) populate the same schema; see the module docs for which
+/// fields are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStats {
+    /// Algorithm name as used in the paper's tables.
+    pub algorithm: &'static str,
+    /// States evaluated (priced and fingerprinted), including the initial
+    /// state and re-evaluations of known states.
+    pub generated: u64,
+    /// Evaluations whose fingerprint had already been seen this run.
+    pub deduplicated: u64,
+    /// Distinct states whose outgoing transitions were enumerated and
+    /// applied (each fingerprint counted once, however often a phase
+    /// revisits it).
+    pub expanded: u64,
+    /// Distinct generated states never expanded: dropped by a budget stop,
+    /// a collection cap, or run termination. Derived at finish time as
+    /// `generated − deduplicated − expanded`; an accounting bug that makes
+    /// that subtraction underflow poisons the field to `u64::MAX` so
+    /// [`SearchStats::reconciles`] fails loudly instead of hiding it.
+    pub pruned: u64,
+    /// Evaluations served by delta repricing + incremental rehash.
+    pub repriced_delta: u64,
+    /// Evaluations that priced the whole state from scratch.
+    pub repriced_full: u64,
+    /// ES: frontier size per BFS generation. HS/HS-Greedy: candidate-pool
+    /// size at each phase boundary (after I, II, III, IV).
+    pub frontier_sizes: Vec<usize>,
+    /// Transition attempts rejected, by applicability rule. Includes
+    /// speculative attempts (HS shift chains, stale greedy-sweep tails)
+    /// because the workers evaluate them either way.
+    pub rejections: Rejections,
+    /// Move-memo cache hits (runtime telemetry: racing workers may both
+    /// miss the same key, so seq/par counts can differ).
+    pub memo_hits: u64,
+    /// Move-memo cache misses (runtime telemetry, as `memo_hits`).
+    pub memo_misses: u64,
+    /// Wall-clock per phase (runtime telemetry).
+    pub phases: Vec<PhaseSpan>,
+    /// Batches of work claimed per worker index (runtime telemetry: the
+    /// claim cursor races under parallelism).
+    pub worker_batches: Vec<u64>,
+}
+
+impl SearchStats {
+    /// Empty stats for `algorithm`.
+    pub fn new(algorithm: &'static str) -> SearchStats {
+        SearchStats {
+            algorithm,
+            generated: 0,
+            deduplicated: 0,
+            expanded: 0,
+            pruned: 0,
+            repriced_delta: 0,
+            repriced_full: 0,
+            frontier_sizes: Vec::new(),
+            rejections: Rejections::default(),
+            memo_hits: 0,
+            memo_misses: 0,
+            phases: Vec::new(),
+            worker_batches: Vec::new(),
+        }
+    }
+
+    /// Does the state accounting add up
+    /// (`generated == deduplicated + expanded + pruned`)?
+    pub fn reconciles(&self) -> bool {
+        self.deduplicated
+            .checked_add(self.expanded)
+            .and_then(|s| s.checked_add(self.pruned))
+            .is_some_and(|sum| sum == self.generated)
+    }
+
+    /// Fraction of evaluations served by the delta path, in `[0, 1]`.
+    pub fn delta_fraction(&self) -> f64 {
+        let total = self.repriced_delta + self.repriced_full;
+        if total == 0 {
+            0.0
+        } else {
+            self.repriced_delta as f64 / total as f64
+        }
+    }
+
+    /// Absorb another run's counters (used to aggregate a sweep). Frontier
+    /// sizes, phases and worker batches are per-run shapes and are not
+    /// carried over.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.generated += other.generated;
+        self.deduplicated += other.deduplicated;
+        self.expanded += other.expanded;
+        self.pruned = self.pruned.saturating_add(other.pruned);
+        self.repriced_delta += other.repriced_delta;
+        self.repriced_full += other.repriced_full;
+        self.rejections.merge(&other.rejections);
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    fn render(&self, include_runtime: bool) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"algorithm\": \"{}\",\n", self.algorithm));
+        out.push_str(&format!(
+            concat!(
+                "  \"states\": {{\"generated\": {}, \"deduplicated\": {}, ",
+                "\"expanded\": {}, \"pruned\": {}}},\n"
+            ),
+            self.generated, self.deduplicated, self.expanded, self.pruned
+        ));
+        out.push_str(&format!(
+            "  \"evaluation\": {{\"delta\": {}, \"full\": {}}},\n",
+            self.repriced_delta, self.repriced_full
+        ));
+        let rej: Vec<String> = self
+            .rejections
+            .as_pairs()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        out.push_str(&format!(
+            "  \"rejections\": {{{}, \"total\": {}}},\n",
+            rej.join(", "),
+            self.rejections.total()
+        ));
+        let fronts: Vec<String> = self.frontier_sizes.iter().map(usize::to_string).collect();
+        out.push_str(&format!("  \"frontier_sizes\": [{}]", fronts.join(", ")));
+        if include_runtime {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "  \"memo\": {{\"hits\": {}, \"misses\": {}}},\n",
+                self.memo_hits, self.memo_misses
+            ));
+            let phases: Vec<String> = self
+                .phases
+                .iter()
+                .map(|p| format!("{{\"phase\": \"{}\", \"nanos\": {}}}", p.phase, p.nanos))
+                .collect();
+            out.push_str(&format!("  \"phases\": [{}],\n", phases.join(", ")));
+            let batches: Vec<String> = self.worker_batches.iter().map(u64::to_string).collect();
+            out.push_str(&format!("  \"worker_batches\": [{}]\n", batches.join(", ")));
+        } else {
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+
+    /// The deterministic projection: every field here is byte-identical
+    /// for any worker-thread count on the same search.
+    pub fn counters_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Full machine-readable rendering, including the runtime-telemetry
+    /// section (wall-clock spans, memo hit/miss, worker batch counts).
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+}
+
+/// Run-local counter collector the search algorithms feed. Only the
+/// coordinator thread touches it; workers hand their deltas back as values
+/// through `Threads::map`.
+#[derive(Debug)]
+pub(crate) struct Collector {
+    stats: SearchStats,
+    /// Fingerprints already counted as expanded — HS phases revisit states,
+    /// and `expanded` counts distinct states only.
+    expanded_fps: HashSet<u128>,
+}
+
+impl Collector {
+    pub(crate) fn new(algorithm: &'static str) -> Collector {
+        Collector {
+            stats: SearchStats::new(algorithm),
+            expanded_fps: HashSet::new(),
+        }
+    }
+
+    /// One state evaluation (pricing + fingerprint), delta or full.
+    pub(crate) fn evaluated(&mut self, delta: bool) {
+        self.stats.generated += 1;
+        if delta {
+            self.stats.repriced_delta += 1;
+        } else {
+            self.stats.repriced_full += 1;
+        }
+    }
+
+    /// The evaluation hit an already-seen fingerprint.
+    pub(crate) fn deduplicated(&mut self) {
+        self.stats.deduplicated += 1;
+    }
+
+    /// The state with fingerprint `fp` had its moves enumerated and
+    /// applied. Counted once per distinct fingerprint.
+    pub(crate) fn expanded(&mut self, fp: u128) {
+        if self.expanded_fps.insert(fp) {
+            self.stats.expanded += 1;
+        }
+    }
+
+    /// Record a frontier / candidate-pool size.
+    pub(crate) fn frontier(&mut self, len: usize) {
+        self.stats.frontier_sizes.push(len);
+    }
+
+    /// Merge a worker item's rejection deltas.
+    pub(crate) fn rejections(&mut self, rej: &Rejections) {
+        self.stats.rejections.merge(rej);
+    }
+
+    /// Record move-memo effectiveness (runtime telemetry).
+    pub(crate) fn memo(&mut self, hits: u64, misses: u64) {
+        self.stats.memo_hits = hits;
+        self.stats.memo_misses = misses;
+    }
+
+    /// Append a finished phase span.
+    pub(crate) fn span(&mut self, span: Span) {
+        span.finish(&mut self.stats);
+    }
+
+    /// Record the per-worker batch counts (runtime telemetry).
+    pub(crate) fn worker_batches(&mut self, batches: Vec<u64>) {
+        self.stats.worker_batches = batches;
+    }
+
+    /// Close the run: derive `pruned` from the identity
+    /// `generated = deduplicated + expanded + pruned`. An underflow (an
+    /// algorithm reported more dedups/expansions than evaluations) poisons
+    /// `pruned` so [`SearchStats::reconciles`] fails.
+    pub(crate) fn finish(mut self) -> SearchStats {
+        self.stats.pruned = self
+            .stats
+            .generated
+            .checked_sub(self.stats.deduplicated + self.stats.expanded)
+            .unwrap_or(u64::MAX);
+        self.stats
+    }
+}
+
+/// A coarse-grained event emitted by a search run. Events fire at phase
+/// and generation boundaries only — never per state — so an enabled sink
+/// costs O(generations + phases), not O(states).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A phase began.
+    PhaseStarted {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// A phase ended.
+    PhaseFinished {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Phase name.
+        phase: &'static str,
+        /// Best cost when the phase ended.
+        best_cost: f64,
+        /// Distinct states visited so far.
+        visited: usize,
+    },
+    /// ES expanded one BFS generation.
+    Generation {
+        /// Generation index (0 = the initial state alone).
+        index: usize,
+        /// Frontier size entering the generation.
+        frontier: usize,
+        /// Distinct states visited so far.
+        visited: usize,
+    },
+    /// The run finished.
+    Finished {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Final best cost.
+        best_cost: f64,
+        /// Distinct states visited.
+        visited: usize,
+        /// Did the budget run out?
+        budget_exhausted: bool,
+    },
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::PhaseStarted { algorithm, phase } => {
+                write!(f, "[{algorithm}] phase {phase} started")
+            }
+            TraceEvent::PhaseFinished {
+                algorithm,
+                phase,
+                best_cost,
+                visited,
+            } => write!(
+                f,
+                "[{algorithm}] phase {phase} finished: best {best_cost:.1}, {visited} states"
+            ),
+            TraceEvent::Generation {
+                index,
+                frontier,
+                visited,
+            } => write!(
+                f,
+                "generation {index}: frontier {frontier}, {visited} states visited"
+            ),
+            TraceEvent::Finished {
+                algorithm,
+                best_cost,
+                visited,
+                budget_exhausted,
+            } => write!(
+                f,
+                "[{algorithm}] finished: best {best_cost:.1}, {visited} states{}",
+                if *budget_exhausted {
+                    " (budget exhausted)"
+                } else {
+                    ""
+                }
+            ),
+        }
+    }
+}
+
+/// A destination for [`TraceEvent`]s. Implementations must be cheap and
+/// non-blocking-ish: events fire from the coordinator thread at coarse
+/// boundaries while the search runs.
+pub trait TraceSink: Sync {
+    /// Observe one event.
+    fn event(&self, event: TraceEvent);
+}
+
+/// The default sink: discards everything. Searches run with this unless
+/// the caller opts into tracing via `Optimizer::run_traced`, so the
+/// disabled path costs one virtual call per phase/generation and nothing
+/// per state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn event(&self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory event ring: keeps the most recent `capacity`
+/// events, dropping the oldest. `Mutex`-guarded because phases of a run
+/// may interleave with a consumer draining from another thread.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// A ring keeping the last `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Take every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn rejections_record_by_rule_and_total() {
+        let mut r = Rejections::default();
+        r.record(&TransitionError::FunctionalityViolated {
+            node: NodeId(1),
+            detail: "x".into(),
+        });
+        r.record(&TransitionError::FunctionalityViolated {
+            node: NodeId(2),
+            detail: "y".into(),
+        });
+        r.record(&TransitionError::NotAdjacent(NodeId(1), NodeId(2)));
+        assert_eq!(r.functionality_violated, 2);
+        assert_eq!(r.not_adjacent, 1);
+        assert_eq!(r.total(), 3);
+        let mut other = Rejections::default();
+        other.record(&TransitionError::NotBinary(NodeId(3)));
+        r.merge(&other);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.not_binary, 1);
+    }
+
+    #[test]
+    fn collector_accounting_reconciles() {
+        let mut c = Collector::new("ES");
+        c.evaluated(false); // initial state (full)
+        c.expanded(1);
+        for fp in [2u128, 3, 2] {
+            c.evaluated(true);
+            if fp == 2 && c.expanded_fps.contains(&2) {
+                // second sighting of fp 2
+            }
+            let _ = fp;
+        }
+        c.deduplicated(); // the repeated fp
+        c.expanded(2);
+        c.expanded(2); // revisit: must not double count
+        let stats = c.finish();
+        assert_eq!(stats.generated, 4);
+        assert_eq!(stats.deduplicated, 1);
+        assert_eq!(stats.expanded, 2);
+        assert_eq!(stats.pruned, 1); // fp 3 was generated, never expanded
+        assert!(stats.reconciles());
+        assert_eq!(stats.repriced_delta, 3);
+        assert_eq!(stats.repriced_full, 1);
+    }
+
+    #[test]
+    fn accounting_underflow_poisons_pruned() {
+        let mut c = Collector::new("HS");
+        c.evaluated(true);
+        c.deduplicated();
+        c.deduplicated(); // one more dedup than evaluations: a bug
+        let stats = c.finish();
+        assert_eq!(stats.pruned, u64::MAX);
+        assert!(!stats.reconciles());
+    }
+
+    #[test]
+    fn counters_json_is_stable_and_excludes_runtime_fields() {
+        let mut c = Collector::new("HS-Greedy");
+        c.evaluated(true);
+        c.frontier(7);
+        c.memo(3, 4);
+        c.span(Span::start("I swaps"));
+        let stats = c.finish();
+        let det = stats.counters_json();
+        assert!(det.contains("\"algorithm\": \"HS-Greedy\""));
+        assert!(det.contains("\"frontier_sizes\": [7]"));
+        assert!(!det.contains("nanos"), "{det}");
+        assert!(!det.contains("memo"), "{det}");
+        assert!(!det.contains("worker_batches"), "{det}");
+        let full = stats.to_json();
+        assert!(full.contains("\"memo\": {\"hits\": 3, \"misses\": 4}"));
+        assert!(full.contains("\"phase\": \"I swaps\""));
+        assert!(full.contains("worker_batches"));
+    }
+
+    #[test]
+    fn ring_sink_caps_and_drains_in_order() {
+        let sink = RingSink::new(2);
+        assert!(sink.is_empty());
+        for i in 0..4 {
+            sink.event(TraceEvent::Generation {
+                index: i,
+                frontier: 1,
+                visited: i,
+            });
+        }
+        assert_eq!(sink.len(), 2);
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert!(
+            matches!(events[0], TraceEvent::Generation { index: 2, .. }),
+            "{events:?}"
+        );
+        assert!(matches!(events[1], TraceEvent::Generation { index: 3, .. }));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn events_render_human_lines() {
+        let e = TraceEvent::Finished {
+            algorithm: "ES",
+            best_cost: 42.5,
+            visited: 10,
+            budget_exhausted: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ES"), "{s}");
+        assert!(s.contains("budget exhausted"), "{s}");
+        let _ = NoopSink; // the default sink is a unit type
+        NoopSink.event(e);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = SearchStats::new("ES");
+        a.generated = 10;
+        a.rejections.not_commutative = 2;
+        let mut b = SearchStats::new("ES");
+        b.generated = 5;
+        b.repriced_delta = 4;
+        b.rejections.not_commutative = 1;
+        a.absorb(&b);
+        assert_eq!(a.generated, 15);
+        assert_eq!(a.repriced_delta, 4);
+        assert_eq!(a.rejections.not_commutative, 3);
+    }
+
+    #[test]
+    fn delta_fraction_is_safe_on_empty() {
+        let s = SearchStats::new("ES");
+        assert_eq!(s.delta_fraction(), 0.0);
+        let mut s2 = SearchStats::new("ES");
+        s2.repriced_delta = 3;
+        s2.repriced_full = 1;
+        assert!((s2.delta_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -251,9 +251,11 @@ mod tests {
         let d = UnaryOp::Dedup { selectivity: 1.0 };
         let replacing = UnaryOp::function("f", ["a"], "b");
         assert!(!ops_commute(&replacing, &d).is_ok());
+        // `UnaryOp::function` constructs the Function variant by definition;
+        // the destructure only exists to flip `keep_inputs`.
         let mut keeping = match UnaryOp::function("f", ["a"], "b") {
             UnaryOp::Function(f) => f,
-            _ => unreachable!(),
+            _ => unreachable!("UnaryOp::function always yields UnaryOp::Function"),
         };
         keeping.keep_inputs = true;
         assert!(ops_commute(&UnaryOp::Function(keeping), &d).is_ok());

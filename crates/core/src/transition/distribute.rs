@@ -12,7 +12,7 @@
 //! rows before the (priced) binary operator and before other per-branch
 //! work — the `c₂` case of Fig. 4.
 
-use crate::activity::{Activity, ActivityId, Op};
+use crate::activity::{Activity, ActivityId};
 use crate::error::CoreError;
 use crate::graph::NodeId;
 use crate::transition::factorize::distributable_through;
@@ -59,11 +59,17 @@ impl Distribute {
         if bin_consumers[0] != self.activity {
             return Err(TransitionError::NotAdjacent(self.binary, self.activity));
         }
-        let links = act.unary_links().expect("checked unary").to_vec();
-        let binop = match &ab.op {
-            Op::Binary(b) => b.clone(),
-            _ => unreachable!("checked binary"),
-        };
+        // Arity was checked above, but a typed error costs nothing and
+        // keeps the applicability path panic-free end to end.
+        let links = act
+            .unary_links()
+            .ok_or(TransitionError::NotUnary(self.activity))?
+            .to_vec();
+        let binop = ab
+            .op
+            .binary()
+            .ok_or(TransitionError::NotBinary(self.binary))?
+            .clone();
         distributable_through(&links, &binop).map_err(|detail| {
             TransitionError::NotDistributable {
                 node: self.activity,
@@ -253,6 +259,23 @@ mod tests {
         let err = Distribute::new(u, sel).apply(&wf).unwrap_err();
         assert!(
             matches!(err, TransitionError::MultipleConsumers(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn swapped_roles_get_typed_errors_not_panics() {
+        // Anchoring the transition on the wrong node kinds must surface the
+        // arity errors, never reach the applicability analysis.
+        let (wf, u, sel) = joint_filter();
+        let err = Distribute::new(sel, sel).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotBinary(n) if n == sel),
+            "{err}"
+        );
+        let err = Distribute::new(u, u).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotUnary(n) if n == u),
             "{err}"
         );
     }

@@ -124,15 +124,18 @@ impl Factorize {
         if !wf.are_homologous(self.a1, self.a2)? {
             return Err(TransitionError::NotHomologous(self.a1, self.a2));
         }
+        // Arity was checked above, but a typed error costs nothing and
+        // keeps the applicability path panic-free end to end.
         let links = g
             .activity(self.a1)?
             .unary_links()
-            .expect("checked unary")
+            .ok_or(TransitionError::NotUnary(self.a1))?
             .to_vec();
-        let binop = match &ab.op {
-            crate::activity::Op::Binary(b) => b.clone(),
-            _ => unreachable!("checked binary"),
-        };
+        let binop = ab
+            .op
+            .binary()
+            .ok_or(TransitionError::NotBinary(self.binary))?
+            .clone();
         distributable_through(&links, &binop).map_err(|detail| {
             TransitionError::NotDistributable {
                 node: self.a1,
@@ -281,6 +284,23 @@ mod tests {
         let new_a = fac.graph().consumers(u).unwrap()[0];
         let dis = Distribute::new(u, new_a).apply(&fac).unwrap();
         assert_eq!(wf.signature(), dis.signature());
+    }
+
+    #[test]
+    fn swapped_roles_get_typed_errors_not_panics() {
+        // Wrong node kinds in either role must come back as arity errors,
+        // not reach the applicability analysis.
+        let (wf, u, sk1, sk2) = fig4_initial();
+        let err = Factorize::new(sk1, sk1, sk2).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotBinary(n) if n == sk1),
+            "{err}"
+        );
+        let err = Factorize::new(u, u, sk2).apply(&wf).unwrap_err();
+        assert!(
+            matches!(err, TransitionError::NotUnary(n) if n == u),
+            "{err}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! conformance sweep  [--base-seed N] [--small N] [--medium N] [--large N]
 //!                    [--rows N] [--states N] [--parallelism N] [--chain-len N]
-//!                    [--out FILE] [--bench FILE]
+//!                    [--out FILE] [--bench FILE] [--trace-json FILE]
 //! conformance replay --seed N --category small|medium|large --steps S
 //!                    [--rows N]
 //! ```
@@ -84,6 +84,7 @@ fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
     let bench_path = flags
         .take("--bench")
         .unwrap_or_else(|| "BENCH_conformance.json".to_owned());
+    let trace_path = flags.take("--trace-json");
     flags.ensure_empty()?;
 
     eprintln!(
@@ -110,6 +111,10 @@ fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
     );
 
     std::fs::write(&out_path, report.to_json()).map_err(|e| format!("write {out_path}: {e}"))?;
+    if let Some(path) = &trace_path {
+        std::fs::write(path, report.trace_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("aggregated search telemetry written to {path}");
+    }
 
     let bench = format!(
         concat!(

@@ -13,6 +13,11 @@
 //! small-scenario sequential ES throughput and exits non-zero if it has
 //! regressed more than 30% against the *committed* `BENCH_search.json` —
 //! the CI perf gate.
+//!
+//! With `--trace-json [FILE]` it instead captures one traced run per
+//! algorithm per size band — full [`SearchStats`] plus the event ring —
+//! and writes the structured telemetry to FILE (default
+//! `TRACE_search.json`), the CI trace artifact.
 
 use std::time::Instant;
 
@@ -203,9 +208,67 @@ fn smoke() {
     );
 }
 
+/// Capture one traced run per algorithm per size band and write the
+/// structured telemetry (stats + trailing events) to `path`.
+fn trace_json(path: &str) {
+    use etlopt::core::opt::HsGreedy;
+    let model = RowCountModel::default();
+    let mut bands = Vec::new();
+    for category in [SizeCategory::Small, SizeCategory::Medium] {
+        let s = Generator::generate(GeneratorConfig { seed: 42, category });
+        let label = match category {
+            SizeCategory::Small => "small",
+            SizeCategory::Medium => "medium",
+            SizeCategory::Large => "large",
+        };
+        let budget = SearchBudget::states(2_000);
+        let algos: [(&str, Box<dyn Optimizer>); 3] = [
+            ("ES", Box::new(ExhaustiveSearch::with_budget(budget))),
+            ("HS", Box::new(HeuristicSearch::with_budget(budget))),
+            ("HS-Greedy", Box::new(HsGreedy::with_budget(budget))),
+        ];
+        let mut entries = Vec::new();
+        for (name, algo) in &algos {
+            let sink = RingSink::new(64);
+            let out = algo
+                .run_traced(&s.workflow, &model, &sink)
+                .expect("search runs");
+            let events: Vec<String> = sink
+                .drain()
+                .iter()
+                .map(|e| format!("\"{}\"", e.to_string().replace('"', "\\\"")))
+                .collect();
+            // Indent the stats object into the nested document.
+            let stats = out
+                .stats
+                .to_json()
+                .lines()
+                .collect::<Vec<_>>()
+                .join("\n    ");
+            entries.push(format!(
+                "    \"{name}\": {{\"stats\": {stats}, \"events\": [{}]}}",
+                events.join(", ")
+            ));
+        }
+        bands.push(format!("  \"{label}\": {{\n{}\n  }}", entries.join(",\n")));
+    }
+    let json = format!("{{\n{}\n}}\n", bands.join(",\n"));
+    std::fs::write(path, &json).expect("write trace json");
+    println!("search telemetry written to {path}");
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--trace-json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("TRACE_search.json");
+        trace_json(path);
         return;
     }
 

@@ -34,6 +34,21 @@ fn assert_same_outcome(
         a.visited_states, b.visited_states,
         "{label}: visited-state accounting diverged"
     );
+    // The deterministic projection of the search telemetry — every counter
+    // except wall-clock timings, memo hit/miss races and per-worker batch
+    // splits — must be byte-identical: counters are merged in worker-index
+    // order regardless of thread count.
+    assert_eq!(
+        a.stats.counters_json(),
+        b.stats.counters_json(),
+        "{label}: trace counters diverged"
+    );
+    assert!(
+        a.stats.reconciles() && b.stats.reconciles(),
+        "{label}: generated != deduplicated + expanded + pruned\n{}\n{}",
+        a.stats.counters_json(),
+        b.stats.counters_json()
+    );
 }
 
 fn scenarios() -> Vec<(String, etlopt::core::workflow::Workflow)> {
