@@ -1,11 +1,14 @@
 //! Engine throughput: executing the Fig. 1 workflow (initial vs optimized)
 //! over growing PARTS1/PARTS2 volumes. Demonstrates that the optimizer's
-//! row-count ranking translates into real work saved.
+//! row-count ranking translates into real work saved, and compares the
+//! materializing backend against the streaming one — at the default frame
+//! budget (everything resident) and at a deliberately tiny budget that
+//! forces the buffer pool through its spill path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use etlopt_core::cost::RowCountModel;
 use etlopt_core::opt::{HeuristicSearch, Optimizer};
-use etlopt_engine::Executor;
+use etlopt_engine::{Backend, Executor, StreamConfig};
 use etlopt_workload::scenarios;
 
 fn bench_engine(c: &mut Criterion) {
@@ -34,5 +37,50 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Volume × backend matrix on the initial Fig. 1 state: materializing,
+/// streaming with the default pool, and streaming with a 4-frame pool
+/// (spilling). The printed counter lines feed the README perf table.
+fn bench_backends(c: &mut Criterion) {
+    let wf = scenarios::fig1();
+    let small_pool = StreamConfig {
+        batch_rows: 256,
+        frame_budget: 4,
+    };
+
+    let mut group = c.benchmark_group("engine_backends");
+    for &scale in &[1_000usize, 5_000, 20_000] {
+        let catalog = scenarios::fig1_catalog(2005, scale / 30 + 10, scale);
+        let materialize = Executor::new(catalog.clone());
+        let stream = Executor::new(catalog.clone()).with_backend(Backend::Stream);
+        let spilling = Executor::new(catalog)
+            .with_backend(Backend::Stream)
+            .with_stream_config(small_pool);
+
+        group.throughput(Throughput::Elements(scale as u64));
+        group.bench_with_input(
+            BenchmarkId::new("materialize", scale),
+            &materialize,
+            |b, exec| b.iter(|| exec.run(&wf).unwrap().stats.total()),
+        );
+        group.bench_with_input(BenchmarkId::new("stream", scale), &stream, |b, exec| {
+            b.iter(|| exec.run(&wf).unwrap().stats.total())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stream_spill", scale),
+            &spilling,
+            |b, exec| b.iter(|| exec.run(&wf).unwrap().stats.total()),
+        );
+
+        let run = spilling.run_stream(&wf).unwrap();
+        println!("backends[scale {scale}]: spilling run {:?}", run.counters);
+        assert_eq!(
+            materialize.run(&wf).unwrap().targets,
+            run.result.targets,
+            "backends diverged at scale {scale}"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_backends);
 criterion_main!(benches);

@@ -13,7 +13,10 @@
 //!   equality** (row order ignored, surrogate-key columns rank-normalized)
 //!   and (b) that the row-count cost model's predicted cardinalities,
 //!   seeded with the original run's observed selectivities, match the
-//!   engine's observed counts within tolerance;
+//!   engine's observed counts within tolerance — plus
+//!   [`oracle::backend_differential`], which cross-checks the streaming
+//!   executor backend against the materializing one (identical targets
+//!   and bit-identical stats) on the same seeded scenarios;
 //! * [`chain`] — a replayable encoding of transition chains
 //!   (`"12,7,!3"`-style step strings) so any failure is a one-liner to
 //!   reproduce;
@@ -37,4 +40,4 @@ pub use corpus::{
     mutation_smoke, run_corpus, CorpusConfig, CorpusReport, SmokeReport, SMOKE_SEEDS,
 };
 pub use minimize::{minimize_failure, Repro};
-pub use oracle::{scenario_executor, Failure, Oracle, Verdict};
+pub use oracle::{backend_differential, scenario_executor, Failure, Oracle, Verdict};

@@ -28,8 +28,9 @@ use etlopt_core::oracle::{
 };
 use etlopt_core::schema::Attr;
 use etlopt_core::semantics::{BinaryOp, UnaryOp};
+use etlopt_core::trace::ExecCounters;
 use etlopt_core::workflow::Workflow;
-use etlopt_engine::{Catalog, ExecResult, ExecStats, Executor, Result};
+use etlopt_engine::{Catalog, ExecResult, ExecStats, Executor, Result, StreamConfig};
 use etlopt_workload::calibrate::MIN_SELECTIVITY;
 use etlopt_workload::datagen;
 
@@ -121,6 +122,57 @@ pub fn scenario_executor(wf: &Workflow, rows_per_source: usize, seed: u64) -> Ex
         rows_per_source,
         seed ^ 0xD1FF_C0DE,
     ))
+}
+
+/// Run one scenario through **both executor backends** and demand exact
+/// agreement: identical target tables (schema, rows, *and* row order) and
+/// bit-identical [`ExecStats`]. This is stricter than the multiset oracle
+/// on purpose — the streaming runtime must be observationally
+/// indistinguishable from the materializing one, not merely equivalent.
+/// Returns the streaming run's pool counters (so callers can additionally
+/// assert that a small frame budget really spilled) or a one-line
+/// description of the first divergence.
+pub fn backend_differential(
+    wf: &Workflow,
+    rows_per_source: usize,
+    seed: u64,
+    cfg: StreamConfig,
+) -> std::result::Result<ExecCounters, String> {
+    let exec = scenario_executor(wf, rows_per_source, seed).with_stream_config(cfg);
+    let mat = exec
+        .run_materialize(wf)
+        .map_err(|e| format!("materialize backend failed: {e}"))?;
+    let stream = exec
+        .run_stream(wf)
+        .map_err(|e| format!("stream backend failed: {e}"))?;
+    for (name, want) in &mat.targets {
+        match stream.result.targets.get(name) {
+            None => return Err(format!("stream backend lost target `{name}`")),
+            Some(got) if got != want => {
+                return Err(format!(
+                    "target `{name}` diverges: materialize loaded {} rows, stream {} \
+                     (tables must be identical including row order)",
+                    want.len(),
+                    got.len(),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    if stream.result.targets.len() != mat.targets.len() {
+        return Err(format!(
+            "stream backend produced {} targets, materialize {}",
+            stream.result.targets.len(),
+            mat.targets.len(),
+        ));
+    }
+    if stream.result.stats != mat.stats {
+        return Err(format!(
+            "ExecStats diverge: materialize {:?} vs stream {:?}",
+            mat.stats, stream.result.stats,
+        ));
+    }
+    Ok(stream.counters)
 }
 
 /// Execution-backed equivalence oracle for one original workflow.

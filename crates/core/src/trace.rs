@@ -405,6 +405,84 @@ impl Collector {
     }
 }
 
+/// Streaming-execution counters populated by the engine's `exec`/`pool`
+/// subsystem (batch runtime, buffer pool, shared intermediate cache). They
+/// live here beside [`SearchStats`] so every trace artifact the workspace
+/// emits shares one zero-dependency home and one JSON idiom.
+///
+/// Page counters follow the pool's ledger: `pages_appended` is every page
+/// admitted into the pool, `pages_spilled` counts eviction *writes* to the
+/// heap file, `pages_reloaded` counts faults that read a spilled page back,
+/// and `evictions` counts resident pages dropped (with or without a write —
+/// a clean page already on disk is dropped for free). Cache counters are
+/// per-run deltas of the shared intermediate-result cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Batches emitted by operators of the streaming pipeline.
+    pub batches: u64,
+    /// Pages admitted into the buffer pool.
+    pub pages_appended: u64,
+    /// Pages written to the spill heap file by eviction.
+    pub pages_spilled: u64,
+    /// Spilled pages faulted back into memory.
+    pub pages_reloaded: u64,
+    /// Resident pages dropped to stay inside the frame budget.
+    pub evictions: u64,
+    /// High-water mark of resident frames.
+    pub peak_resident_frames: u64,
+    /// Shared-cache lookups that found a previously computed intermediate.
+    pub cache_hits: u64,
+    /// Shared-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Intermediate results admitted into the shared cache.
+    pub cache_insertions: u64,
+}
+
+impl ExecCounters {
+    /// Did this run write at least one page to disk?
+    pub fn spilled(&self) -> bool {
+        self.pages_spilled > 0
+    }
+
+    /// Sum another run's counters into `self` (peak frames take the max —
+    /// it is a high-water mark, not a flow).
+    pub fn absorb(&mut self, other: &ExecCounters) {
+        self.batches += other.batches;
+        self.pages_appended += other.pages_appended;
+        self.pages_spilled += other.pages_spilled;
+        self.pages_reloaded += other.pages_reloaded;
+        self.evictions += other.evictions;
+        self.peak_resident_frames = self.peak_resident_frames.max(other.peak_resident_frames);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_insertions += other.cache_insertions;
+    }
+
+    /// Machine-readable rendering, same idiom as [`SearchStats::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"batches\": {},\n",
+                "  \"pool\": {{\"pages_appended\": {}, \"pages_spilled\": {}, ",
+                "\"pages_reloaded\": {}, \"evictions\": {}, ",
+                "\"peak_resident_frames\": {}}},\n",
+                "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}}}\n",
+                "}}"
+            ),
+            self.batches,
+            self.pages_appended,
+            self.pages_spilled,
+            self.pages_reloaded,
+            self.evictions,
+            self.peak_resident_frames,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+        )
+    }
+}
+
 /// A coarse-grained event emitted by a search run. Events fire at phase
 /// and generation boundaries only — never per state — so an enabled sink
 /// costs O(generations + phases), not O(states).
@@ -688,6 +766,37 @@ mod tests {
         assert_eq!(a.generated, 15);
         assert_eq!(a.repriced_delta, 4);
         assert_eq!(a.rejections.not_commutative, 3);
+    }
+
+    #[test]
+    fn exec_counters_absorb_and_render() {
+        let mut a = ExecCounters {
+            batches: 10,
+            pages_appended: 4,
+            pages_spilled: 2,
+            pages_reloaded: 1,
+            evictions: 3,
+            peak_resident_frames: 8,
+            cache_hits: 1,
+            cache_misses: 2,
+            cache_insertions: 2,
+        };
+        assert!(a.spilled());
+        let b = ExecCounters {
+            batches: 5,
+            peak_resident_frames: 16,
+            ..ExecCounters::default()
+        };
+        assert!(!b.spilled());
+        a.absorb(&b);
+        assert_eq!(a.batches, 15);
+        assert_eq!(a.pages_spilled, 2);
+        // Peak is a high-water mark: absorbed as a max, not a sum.
+        assert_eq!(a.peak_resident_frames, 16);
+        let json = a.to_json();
+        assert!(json.contains("\"pages_spilled\": 2"), "{json}");
+        assert!(json.contains("\"peak_resident_frames\": 16"), "{json}");
+        assert!(json.contains("\"hits\": 1"), "{json}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use etlopt_core::workflow::Workflow;
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
+use crate::exec::{Backend, SharedCache, StreamConfig, StreamRun};
 use crate::functions::FunctionRegistry;
 use crate::ops::{exec_binary, exec_chain, exec_unary, ExecCtx};
 use crate::table::Table;
@@ -70,16 +71,21 @@ pub struct Executor {
     catalog: Catalog,
     functions: FunctionRegistry,
     auto_lookup: bool,
+    backend: Backend,
+    stream_cfg: StreamConfig,
 }
 
 impl Executor {
-    /// Executor over a catalog with the builtin function registry and
-    /// deterministic auto-surrogates enabled.
+    /// Executor over a catalog with the builtin function registry,
+    /// deterministic auto-surrogates enabled, and the materializing
+    /// backend.
     pub fn new(catalog: Catalog) -> Self {
         Executor {
             catalog,
             functions: FunctionRegistry::builtin(),
             auto_lookup: true,
+            backend: Backend::default(),
+            stream_cfg: StreamConfig::default(),
         }
     }
 
@@ -95,18 +101,60 @@ impl Executor {
         self
     }
 
+    /// Select the backend used by [`Executor::run`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replace the streaming backend configuration.
+    pub fn with_stream_config(mut self, cfg: StreamConfig) -> Self {
+        self.stream_cfg = cfg;
+        self
+    }
+
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
-    /// Execute a workflow state.
-    pub fn run(&self, wf: &Workflow) -> Result<ExecResult> {
-        let ctx = ExecCtx {
+    /// The backend [`Executor::run`] dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn exec_ctx(&self) -> ExecCtx<'_> {
+        ExecCtx {
             functions: &self.functions,
             catalog: &self.catalog,
             auto_lookup: self.auto_lookup,
-        };
+        }
+    }
+
+    /// Execute a workflow state with the configured backend.
+    pub fn run(&self, wf: &Workflow) -> Result<ExecResult> {
+        match self.backend {
+            Backend::Materialize => self.run_materialize(wf),
+            Backend::Stream => Ok(self.run_stream(wf)?.result),
+        }
+    }
+
+    /// Execute with the streaming backend, returning the runtime's
+    /// pool/batch counters alongside the result.
+    pub fn run_stream(&self, wf: &Workflow) -> Result<StreamRun> {
+        crate::exec::run_stream(self.exec_ctx(), wf, self.stream_cfg, None)
+    }
+
+    /// Execute with the streaming backend against a shared result cache
+    /// (which must have been populated against this executor's catalog).
+    pub fn run_stream_cached(&self, wf: &Workflow, cache: &mut SharedCache) -> Result<StreamRun> {
+        crate::exec::run_stream(self.exec_ctx(), wf, self.stream_cfg, Some(cache))
+    }
+
+    /// Execute a workflow state node-at-a-time, materializing every
+    /// intermediate table.
+    pub fn run_materialize(&self, wf: &Workflow) -> Result<ExecResult> {
+        let ctx = self.exec_ctx();
         let graph = wf.graph();
         let order = graph.topo_order()?;
         let mut outputs: BTreeMap<NodeId, Table> = BTreeMap::new();

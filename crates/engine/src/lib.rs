@@ -37,16 +37,20 @@
 pub mod catalog;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod executor;
 pub mod functions;
 pub mod ops;
+pub mod pool;
 pub mod recordfile;
 pub mod table;
 pub mod validate;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, Result};
+pub use exec::{Backend, SharedCache, StreamConfig, StreamRun};
 pub use executor::{ExecResult, ExecStats, Executor};
 pub use functions::FunctionRegistry;
+pub use pool::{BufferId, BufferPool, PoolConfig};
 pub use table::{Row, Table};
 pub use validate::{assert_equivalent_execution, equivalent_execution};

@@ -119,52 +119,106 @@ impl Acc {
     }
 }
 
-/// `γ(group_by; aggregates)`: output schema is groupers then aggregate
-/// outputs, groups emitted in first-appearance order (deterministic).
-pub fn aggregate(agg: &Aggregation, input: &Table) -> Result<Table> {
-    let group_cols: Vec<usize> = agg
-        .group_by
-        .iter()
-        .map(|a| input.col(a))
-        .collect::<Result<_>>()?;
-    let agg_cols: Vec<usize> = agg
-        .aggregates
-        .iter()
-        .map(|s| input.col(&s.input))
-        .collect::<Result<_>>()?;
+/// Incremental state for `γ(group_by; aggregates)`: groups accumulate
+/// across [`AggState::feed`] calls (the streaming runtime feeds one batch
+/// at a time), and [`AggState::finish`] emits groupers then aggregate
+/// outputs, groups in first-appearance order (deterministic). Feeding the
+/// whole input in one call is exactly the blocking [`aggregate`].
+#[derive(Debug)]
+pub(crate) struct AggState {
+    agg: Aggregation,
+    group_cols: Vec<usize>,
+    agg_cols: Vec<usize>,
+    order: Vec<String>,
+    groups: HashMap<String, (Row, Vec<Acc>)>,
+}
 
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, (Row, Vec<Acc>)> = HashMap::new();
-    for row in input.rows() {
-        let k = tuple_key(group_cols.iter().map(|&i| &row[i]));
-        let entry = match groups.entry(k.clone()) {
+impl AggState {
+    /// Resolve the grouping and aggregate columns against the input schema.
+    pub(crate) fn new(agg: &Aggregation, input_schema: &Schema) -> Result<Self> {
+        // Column resolution goes through an empty table so missing
+        // attributes raise the same error the blocking path raises.
+        let probe = Table::empty(input_schema.clone());
+        let group_cols: Vec<usize> = agg
+            .group_by
+            .iter()
+            .map(|a| probe.col(a))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<usize> = agg
+            .aggregates
+            .iter()
+            .map(|s| probe.col(&s.input))
+            .collect::<Result<_>>()?;
+        Ok(AggState {
+            agg: agg.clone(),
+            group_cols,
+            agg_cols,
+            order: Vec::new(),
+            groups: HashMap::new(),
+        })
+    }
+
+    /// The output schema: groupers then aggregate outputs.
+    pub(crate) fn output_schema(&self) -> Schema {
+        let mut out: Schema = self.agg.group_by.iter().cloned().collect();
+        for s in &self.agg.aggregates {
+            out.push(s.output.clone());
+        }
+        out
+    }
+
+    /// Fold one row into its group.
+    pub(crate) fn feed_row(&mut self, row: &Row) -> Result<()> {
+        let k = tuple_key(self.group_cols.iter().map(|&i| &row[i]));
+        let entry = match self.groups.entry(k.clone()) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
-                order.push(k);
-                let key_row: Row = group_cols.iter().map(|&i| row[i].clone()).collect();
-                let accs = agg.aggregates.iter().map(|s| Acc::new(s.func)).collect();
+                self.order.push(k);
+                let key_row: Row = self.group_cols.iter().map(|&i| row[i].clone()).collect();
+                let accs = self
+                    .agg
+                    .aggregates
+                    .iter()
+                    .map(|s| Acc::new(s.func))
+                    .collect();
                 e.insert((key_row, accs))
             }
         };
-        for (acc, &col) in entry.1.iter_mut().zip(agg_cols.iter()) {
+        for (acc, &col) in entry.1.iter_mut().zip(self.agg_cols.iter()) {
             acc.feed(&row[col])?;
         }
+        Ok(())
     }
 
-    let mut out_schema: Schema = agg.group_by.iter().cloned().collect();
-    for s in &agg.aggregates {
-        out_schema.push(s.output.clone());
-    }
-    let mut out = Table::empty(out_schema);
-    for k in &order {
-        let (key_row, accs) = &groups[k];
-        let mut row = key_row.clone();
-        for acc in accs {
-            row.push(acc.finish());
+    /// Fold a batch of rows.
+    pub(crate) fn feed(&mut self, rows: &[Row]) -> Result<()> {
+        for row in rows {
+            self.feed_row(row)?;
         }
-        out.push(row)?;
+        Ok(())
     }
-    Ok(out)
+
+    /// Emit the aggregated table.
+    pub(crate) fn finish(self) -> Result<Table> {
+        let mut out = Table::empty(self.output_schema());
+        for k in &self.order {
+            let (key_row, accs) = &self.groups[k];
+            let mut row = key_row.clone();
+            for acc in accs {
+                row.push(acc.finish());
+            }
+            out.push(row)?;
+        }
+        Ok(out)
+    }
+}
+
+/// `γ(group_by; aggregates)`: output schema is groupers then aggregate
+/// outputs, groups emitted in first-appearance order (deterministic).
+pub fn aggregate(agg: &Aggregation, input: &Table) -> Result<Table> {
+    let mut state = AggState::new(agg, input.schema())?;
+    state.feed(input.rows())?;
+    state.finish()
 }
 
 #[cfg(test)]

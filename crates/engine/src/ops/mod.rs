@@ -13,6 +13,7 @@ mod surrogate;
 mod unary;
 
 pub use binary::exec_binary;
+pub(crate) use blocking::AggState;
 
 use etlopt_core::semantics::UnaryOp;
 

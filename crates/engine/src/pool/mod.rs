@@ -1,0 +1,441 @@
+//! The paged buffer pool: bounded-memory storage for streaming
+//! intermediates, spilling to a heap file past the frame budget.
+//!
+//! The streaming runtime (`crate::exec`) materializes row data only at
+//! pipeline boundaries — fan-out nodes, hash-join build sides, target
+//! drains. Those boundaries store their rows here as immutable **pages**
+//! (one appended batch = one page). The pool keeps at most
+//! [`PoolConfig::frame_budget`] pages resident; appending or faulting a
+//! page past the budget evicts a victim chosen by a **clock**
+//! (second-chance) sweep, writing it to the spill heap file on first
+//! eviction and dropping it for free on later ones (pages are immutable,
+//! so the disk copy never goes stale).
+//!
+//! Pages are handed out as `Rc<Vec<Row>>`: eviction drops the pool's
+//! reference while a reader's clone stays valid, so no pin bookkeeping is
+//! needed — the working set above the budget is bounded by one page per
+//! active reader.
+
+mod heap;
+
+use std::rc::Rc;
+
+use etlopt_core::schema::Schema;
+use etlopt_core::trace::ExecCounters;
+
+use crate::error::{EngineError, Result};
+use crate::table::{Row, Table};
+
+use heap::{PageLoc, SpillFile};
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Maximum pages resident in memory at once (≥ 1).
+    pub frame_budget: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { frame_budget: 256 }
+    }
+}
+
+/// Handle to one paged buffer inside the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BufferId(usize);
+
+#[derive(Debug)]
+struct Page {
+    /// Resident copy (None when evicted or freed).
+    rows: Option<Rc<Vec<Row>>>,
+    /// Location of the on-disk copy, if one was ever written.
+    disk: Option<PageLoc>,
+    /// Clock reference bit: set on access, cleared by the sweep.
+    referenced: bool,
+    /// Global row offset of this page within its buffer.
+    start: usize,
+}
+
+#[derive(Debug)]
+struct Buffer {
+    schema: Schema,
+    pages: Vec<Page>,
+    rows: usize,
+    freed: bool,
+}
+
+/// The pool: all buffers, the clock ring of resident pages, the spill
+/// file, and its page-traffic ledger (reported as [`ExecCounters`] pool
+/// fields).
+#[derive(Debug)]
+pub struct BufferPool {
+    cfg: PoolConfig,
+    buffers: Vec<Buffer>,
+    /// Clock ring over (possibly stale) resident page slots.
+    clock: std::collections::VecDeque<(usize, usize)>,
+    resident: usize,
+    spill: Option<SpillFile>,
+    counters: ExecCounters,
+}
+
+impl BufferPool {
+    /// An empty pool under `cfg` (frame budget clamped to ≥ 1).
+    pub fn new(cfg: PoolConfig) -> BufferPool {
+        BufferPool {
+            cfg: PoolConfig {
+                frame_budget: cfg.frame_budget.max(1),
+            },
+            buffers: Vec::new(),
+            clock: std::collections::VecDeque::new(),
+            resident: 0,
+            spill: None,
+            counters: ExecCounters::default(),
+        }
+    }
+
+    /// Create an empty buffer for rows under `schema`.
+    pub fn create(&mut self, schema: Schema) -> BufferId {
+        self.buffers.push(Buffer {
+            schema,
+            pages: Vec::new(),
+            rows: 0,
+            freed: false,
+        });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// The buffer's schema.
+    pub fn schema(&self, buf: BufferId) -> &Schema {
+        &self.buffers[buf.0].schema
+    }
+
+    /// Total rows appended to the buffer.
+    pub fn rows(&self, buf: BufferId) -> usize {
+        self.buffers[buf.0].rows
+    }
+
+    /// Pages appended to the buffer.
+    pub fn pages(&self, buf: BufferId) -> usize {
+        self.buffers[buf.0].pages.len()
+    }
+
+    /// The pool's page-traffic ledger so far.
+    pub fn counters(&self) -> &ExecCounters {
+        &self.counters
+    }
+
+    /// Append one batch as a new page. Empty batches are dropped (they
+    /// carry no rows and would only dilute the clock).
+    pub fn append(&mut self, buf: BufferId, rows: Vec<Row>) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let width = self.buffers[buf.0].schema.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(EngineError::RowArity {
+                context: "BufferPool::append".into(),
+                expected: width,
+                actual: bad.len(),
+            });
+        }
+        self.make_room(1)?;
+        let b = &mut self.buffers[buf.0];
+        let start = b.rows;
+        b.rows += rows.len();
+        b.pages.push(Page {
+            rows: Some(Rc::new(rows)),
+            disk: None,
+            referenced: true,
+            start,
+        });
+        let page = b.pages.len() - 1;
+        self.clock.push_back((buf.0, page));
+        self.resident += 1;
+        self.counters.pages_appended += 1;
+        self.counters.peak_resident_frames =
+            self.counters.peak_resident_frames.max(self.resident as u64);
+        Ok(())
+    }
+
+    /// Fetch one page, faulting it back from the heap file if it was
+    /// evicted. The returned `Rc` stays valid even if the page is evicted
+    /// again while the caller holds it.
+    pub fn page(&mut self, buf: BufferId, page: usize) -> Result<Rc<Vec<Row>>> {
+        let slot = &mut self.buffers[buf.0].pages[page];
+        slot.referenced = true;
+        if let Some(rows) = &slot.rows {
+            return Ok(Rc::clone(rows));
+        }
+        let loc = slot.disk.ok_or_else(|| EngineError::FunctionFailed {
+            function: "BufferPool::page".into(),
+            reason: format!(
+                "page {page} of buffer {} is neither resident nor spilled",
+                buf.0
+            ),
+        })?;
+        self.make_room(1)?;
+        let b = &mut self.buffers[buf.0];
+        let spill = self
+            .spill
+            .as_mut()
+            .ok_or_else(|| EngineError::FunctionFailed {
+                function: "BufferPool::page".into(),
+                reason: "spilled page but no heap file".into(),
+            })?;
+        let rows = Rc::new(spill.read_page(loc, &b.schema)?);
+        let slot = &mut b.pages[page];
+        slot.rows = Some(Rc::clone(&rows));
+        slot.referenced = true;
+        self.clock.push_back((buf.0, page));
+        self.resident += 1;
+        self.counters.pages_reloaded += 1;
+        self.counters.peak_resident_frames =
+            self.counters.peak_resident_frames.max(self.resident as u64);
+        Ok(rows)
+    }
+
+    /// Fetch one row by its global index within the buffer (hash-join
+    /// probes). Faults the owning page in if necessary.
+    pub fn row(&mut self, buf: BufferId, index: usize) -> Result<Row> {
+        let b = &self.buffers[buf.0];
+        if index >= b.rows {
+            return Err(EngineError::FunctionFailed {
+                function: "BufferPool::row".into(),
+                reason: format!("row {index} out of range ({} rows)", b.rows),
+            });
+        }
+        // Pages are start-ordered; find the one covering `index`.
+        let page = match b.pages.binary_search_by(|p| p.start.cmp(&index)) {
+            Ok(p) => p,
+            Err(ins) => ins - 1,
+        };
+        let start = b.pages[page].start;
+        let rows = self.page(buf, page)?;
+        Ok(rows[index - start].clone())
+    }
+
+    /// Materialize the whole buffer as a [`Table`] (faulting spilled pages
+    /// back in page-at-a-time — resident never exceeds the budget plus the
+    /// one page being copied).
+    pub fn to_table(&mut self, buf: BufferId) -> Result<Table> {
+        let schema = self.buffers[buf.0].schema.clone();
+        let mut rows = Vec::with_capacity(self.buffers[buf.0].rows);
+        for page in 0..self.pages(buf) {
+            let p = self.page(buf, page)?;
+            rows.extend(p.iter().cloned());
+        }
+        Table::from_rows(schema, rows)
+    }
+
+    /// Drop a buffer's pages (resident and spilled bookkeeping alike). The
+    /// heap file is append-only, so spilled bytes are reclaimed when the
+    /// pool itself drops; clock entries go stale and are skipped lazily.
+    pub fn free(&mut self, buf: BufferId) {
+        let b = &mut self.buffers[buf.0];
+        if b.freed {
+            return;
+        }
+        b.freed = true;
+        for page in &mut b.pages {
+            if page.rows.take().is_some() {
+                self.resident -= 1;
+            }
+            page.disk = None;
+        }
+    }
+
+    /// Evict resident pages until `incoming` more fit inside the budget.
+    fn make_room(&mut self, incoming: usize) -> Result<()> {
+        while self.resident + incoming > self.cfg.frame_budget {
+            if !self.evict_one()? {
+                // Nothing evictable (budget 1 with the incoming page being
+                // the only candidate): admit over budget rather than stall.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One clock sweep: skip stale entries, give referenced pages a second
+    /// chance, evict the first unreferenced resident page. Returns false
+    /// when the ring holds no evictable page.
+    fn evict_one(&mut self) -> Result<bool> {
+        let mut sweeps = self.clock.len().saturating_mul(2);
+        while let Some((bi, pi)) = self.clock.pop_front() {
+            let page = &mut self.buffers[bi].pages[pi];
+            if page.rows.is_none() {
+                // Stale entry: evicted or freed since it was enqueued.
+                continue;
+            }
+            if page.referenced && sweeps > 0 {
+                sweeps -= 1;
+                page.referenced = false;
+                self.clock.push_back((bi, pi));
+                continue;
+            }
+            // Victim: write on first eviction, drop for free afterwards.
+            if page.disk.is_none() {
+                let rows = page.rows.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
+                let spill = match self.spill.as_mut() {
+                    Some(s) => s,
+                    None => {
+                        self.spill = Some(SpillFile::create()?);
+                        self.spill.as_mut().expect("just created")
+                    }
+                };
+                let loc = spill.write_page(rows)?;
+                self.buffers[bi].pages[pi].disk = Some(loc);
+                self.counters.pages_spilled += 1;
+            }
+            self.buffers[bi].pages[pi].rows = None;
+            self.resident -= 1;
+            self.counters.evictions += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlopt_core::scalar::Scalar;
+
+    fn rows(range: std::ops::Range<i64>) -> Vec<Row> {
+        range
+            .map(|i| vec![Scalar::Int(i), Scalar::Int(i * 10)])
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::of(["k", "v"])
+    }
+
+    #[test]
+    fn append_and_read_back_without_eviction() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 8 });
+        let b = pool.create(schema());
+        pool.append(b, rows(0..4)).unwrap();
+        pool.append(b, rows(4..8)).unwrap();
+        assert_eq!(pool.rows(b), 8);
+        assert_eq!(pool.pages(b), 2);
+        let t = pool.to_table(b).unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.rows()[5][0], Scalar::Int(5));
+        assert!(!pool.counters().spilled());
+    }
+
+    #[test]
+    fn eviction_spills_and_faults_back_bit_identical() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 2 });
+        let b = pool.create(schema());
+        for start in 0..6 {
+            pool.append(b, rows(start * 3..(start + 1) * 3)).unwrap();
+        }
+        let c = pool.counters();
+        assert!(c.spilled(), "{c:?}");
+        assert!(c.evictions >= 4, "{c:?}");
+        assert_eq!(c.pages_appended, 6);
+        let t = pool.to_table(b).unwrap();
+        assert_eq!(t.len(), 18);
+        for (i, row) in t.rows().iter().enumerate() {
+            assert_eq!(row[0], Scalar::Int(i as i64));
+            assert_eq!(row[1], Scalar::Int(i as i64 * 10));
+        }
+        assert!(pool.counters().pages_reloaded > 0);
+    }
+
+    #[test]
+    fn random_row_access_faults_pages() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 2 });
+        let b = pool.create(schema());
+        for start in 0..5 {
+            pool.append(b, rows(start * 4..(start + 1) * 4)).unwrap();
+        }
+        // Probe back-to-front so early (evicted) pages must fault in.
+        for i in (0..20).rev() {
+            let row = pool.row(b, i).unwrap();
+            assert_eq!(row[0], Scalar::Int(i as i64));
+        }
+        assert!(pool.row(b, 20).is_err());
+    }
+
+    #[test]
+    fn a_held_page_survives_its_own_eviction() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 1 });
+        let b = pool.create(schema());
+        pool.append(b, rows(0..2)).unwrap();
+        let held = pool.page(b, 0).unwrap();
+        // Appending more pages under budget 1 evicts page 0.
+        pool.append(b, rows(2..4)).unwrap();
+        pool.append(b, rows(4..6)).unwrap();
+        assert_eq!(held[1][0], Scalar::Int(1));
+        // And the evicted copy reloads intact.
+        assert_eq!(pool.row(b, 0).unwrap()[0], Scalar::Int(0));
+    }
+
+    #[test]
+    fn second_eviction_of_a_clean_page_is_free() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 1 });
+        let b = pool.create(schema());
+        pool.append(b, rows(0..2)).unwrap();
+        pool.append(b, rows(2..4)).unwrap(); // evicts+spills page 0
+        let spilled_once = pool.counters().pages_spilled;
+        let _ = pool.page(b, 0).unwrap(); // fault back (evicts page 1)
+        let _ = pool.page(b, 1).unwrap(); // evicts page 0 again — clean
+        assert_eq!(pool.counters().pages_spilled, spilled_once + 1);
+        assert!(pool.counters().evictions >= 3);
+    }
+
+    #[test]
+    fn multiple_buffers_share_the_budget() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 2 });
+        let a = pool.create(schema());
+        let b = pool.create(Schema::of(["x"]));
+        pool.append(a, rows(0..3)).unwrap();
+        pool.append(b, vec![vec![Scalar::Null], vec![Scalar::Int(1)]])
+            .unwrap();
+        pool.append(a, rows(3..6)).unwrap();
+        pool.append(b, vec![vec![Scalar::Str("s".into())]]).unwrap();
+        let ta = pool.to_table(a).unwrap();
+        let tb = pool.to_table(b).unwrap();
+        assert_eq!(ta.len(), 6);
+        assert_eq!(tb.len(), 3);
+        assert_eq!(tb.rows()[0][0], Scalar::Null);
+        assert!(pool.counters().spilled());
+    }
+
+    #[test]
+    fn freed_buffers_release_frames() {
+        let mut pool = BufferPool::new(PoolConfig { frame_budget: 4 });
+        let a = pool.create(schema());
+        pool.append(a, rows(0..2)).unwrap();
+        pool.append(a, rows(2..4)).unwrap();
+        pool.free(a);
+        pool.free(a); // idempotent
+        let b = pool.create(schema());
+        for start in 0..4 {
+            pool.append(b, rows(start * 2..(start + 1) * 2)).unwrap();
+        }
+        // The freed buffer's frames were reclaimed: no eviction needed.
+        assert_eq!(pool.counters().evictions, 0);
+        assert_eq!(pool.to_table(b).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn arity_checked_on_append() {
+        let mut pool = BufferPool::new(PoolConfig::default());
+        let b = pool.create(schema());
+        assert!(pool.append(b, vec![vec![Scalar::Int(1)]]).is_err());
+    }
+
+    #[test]
+    fn empty_append_is_a_noop() {
+        let mut pool = BufferPool::new(PoolConfig::default());
+        let b = pool.create(schema());
+        pool.append(b, Vec::new()).unwrap();
+        assert_eq!(pool.pages(b), 0);
+        assert_eq!(pool.to_table(b).unwrap().len(), 0);
+    }
+}

@@ -30,7 +30,7 @@ pub fn write_str(table: &Table) -> String {
     out
 }
 
-fn render_field(v: &Scalar) -> String {
+pub(crate) fn render_field(v: &Scalar) -> String {
     match v {
         Scalar::Null => String::new(),
         Scalar::Int(i) => i.to_string(),
@@ -85,7 +85,7 @@ fn parse_unquoted(field: &str) -> Scalar {
 }
 
 /// Split one line on the delimiter, honoring double-quoted fields.
-fn split_line(line: &str) -> Result<Vec<Scalar>> {
+pub(crate) fn split_line(line: &str) -> Result<Vec<Scalar>> {
     let mut fields = Vec::new();
     let mut chars = line.chars().peekable();
     loop {

@@ -62,6 +62,12 @@ impl Table {
         &self.rows
     }
 
+    /// Consume the table, yielding its rows (the streaming runtime moves
+    /// batches into the buffer pool without re-cloning every scalar).
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,0 +1,140 @@
+//! Spill-correctness property test: under a frame budget far below the
+//! intermediate volume, the streaming backend must stay **bit-identical**
+//! to an effectively unbounded run — same target tables (schema, rows,
+//! row order) and same `ExecStats` — while actually exercising the
+//! eviction/spill/reload path. Driven by the in-repo seeded [`Rng`]
+//! (offline build, no `proptest`); each case names its seed on failure.
+
+use etlopt_core::predicate::Predicate;
+use etlopt_core::rng::Rng;
+use etlopt_core::scalar::Scalar;
+use etlopt_core::schema::Schema;
+use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
+use etlopt_core::workflow::{Workflow, WorkflowBuilder};
+use etlopt_engine::{Catalog, Executor, StreamConfig, Table};
+
+const CASES: u64 = 48;
+
+/// Tiny pool: two frames of eight rows — every materialization boundary
+/// in these workflows overflows it.
+const TINY: StreamConfig = StreamConfig {
+    batch_rows: 8,
+    frame_budget: 2,
+};
+
+fn value(rng: &mut Rng) -> Scalar {
+    match rng.gen_range(0..10u32) {
+        0 => Scalar::Null,
+        1..=4 => Scalar::Int(rng.gen_range(-50..50i64)),
+        _ => Scalar::Float((rng.gen_range(-500.0..500.0f64) * 8.0).round() / 8.0),
+    }
+}
+
+fn random_table(rng: &mut Rng, rows: usize) -> Table {
+    Table::from_rows(
+        Schema::of(["k", "v"]),
+        (0..rows)
+            .map(|_| vec![Scalar::Int(rng.gen_range(0..12i64)), value(rng)])
+            .collect(),
+    )
+    .expect("rows match schema")
+}
+
+/// A linear pipeline whose NN output fans out to a second target, so the
+/// full (large) intermediate is drained through the pool.
+fn fan_out_wf(cut: f64) -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let s = b.source("S", Schema::of(["k", "v"]), 200.0);
+    let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+    let f = b.unary("σ", UnaryOp::filter(Predicate::gt("v", cut)), nn);
+    b.target("KEPT", Schema::of(["k", "v"]), f);
+    b.target("RAW", Schema::of(["k", "v"]), nn);
+    b.build().expect("workflow is well-formed")
+}
+
+/// Aggregation fed by a spilled fan-out boundary.
+fn agg_wf(cut: f64) -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let s = b.source("S", Schema::of(["k", "v"]), 200.0);
+    let f = b.unary("σ", UnaryOp::filter(Predicate::le("v", cut)), s);
+    let g = b.unary(
+        "γ",
+        UnaryOp::aggregate(Aggregation::sum(["k"], "v", "v")),
+        f,
+    );
+    b.target("SUMS", Schema::of(["k", "v"]), g);
+    b.target("KEPT", Schema::of(["k", "v"]), f);
+    b.build().expect("workflow is well-formed")
+}
+
+/// Set algebra over two sources: difference and intersection both drain
+/// their right side through the pool.
+fn binary_wf(op: BinaryOp) -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let s1 = b.source("A", Schema::of(["k", "v"]), 200.0);
+    let s2 = b.source("B", Schema::of(["k", "v"]), 200.0);
+    let x = b.binary("⊖", op, s1, s2);
+    b.target("OUT", Schema::of(["k", "v"]), x);
+    b.build().expect("workflow is well-formed")
+}
+
+/// Run `wf` on both backends with the tiny pool; demand bit-identical
+/// results and return the streaming run's spilled-page count.
+fn check(wf: &Workflow, catalog: Catalog, seed: u64) -> u64 {
+    let exec = Executor::new(catalog).with_stream_config(TINY);
+    let mat = exec.run_materialize(wf).expect("materialize executes");
+    let run = exec.run_stream(wf).expect("stream executes");
+    assert_eq!(mat.targets, run.result.targets, "seed {seed}: targets");
+    assert_eq!(mat.stats, run.result.stats, "seed {seed}: stats");
+    assert!(
+        run.counters.peak_resident_frames <= TINY.frame_budget as u64,
+        "seed {seed}: budget exceeded ({:?})",
+        run.counters
+    );
+    run.counters.pages_spilled
+}
+
+#[test]
+fn spilled_runs_stay_bit_identical() {
+    let mut total_spilled = 0;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5117);
+        let rows = rng.gen_range(150..300usize);
+        let cut = rng.gen_range(-400.0..400.0f64);
+
+        let mut cat = Catalog::new();
+        cat.insert("S", random_table(&mut rng, rows));
+        total_spilled += check(&fan_out_wf(cut), cat, seed);
+
+        let mut cat = Catalog::new();
+        cat.insert("S", random_table(&mut rng, rows));
+        total_spilled += check(&agg_wf(cut), cat, seed);
+
+        let op = if seed % 2 == 0 {
+            BinaryOp::Difference
+        } else {
+            BinaryOp::Intersection
+        };
+        let mut cat = Catalog::new();
+        cat.insert("A", random_table(&mut rng, rows));
+        cat.insert("B", random_table(&mut rng, rows / 2));
+        total_spilled += check(&binary_wf(op), cat, seed);
+    }
+    // The corpus as a whole must have really gone through the spill path.
+    assert!(total_spilled > 0, "tiny budget never spilled");
+}
+
+#[test]
+fn empty_sources_never_spill_and_still_match() {
+    for (wf, names) in [
+        (fan_out_wf(0.0), &["S", ""][..]),
+        (binary_wf(BinaryOp::Difference), &["A", "B"][..]),
+    ] {
+        let mut cat = Catalog::new();
+        for name in names.iter().filter(|n| !n.is_empty()) {
+            cat.insert(*name, Table::empty(Schema::of(["k", "v"])));
+        }
+        let spilled = check(&wf, cat, u64::MAX);
+        assert_eq!(spilled, 0);
+    }
+}

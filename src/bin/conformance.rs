@@ -4,6 +4,8 @@
 //! conformance sweep  [--base-seed N] [--small N] [--medium N] [--large N]
 //!                    [--rows N] [--states N] [--parallelism N] [--chain-len N]
 //!                    [--out FILE] [--bench FILE] [--trace-json FILE]
+//! conformance backends [--rows N] [--frame-budget N] [--batch-rows N]
+//!                      [--trace-json FILE]
 //! conformance replay --seed N --category small|medium|large --steps S
 //!                    [--rows N]
 //! ```
@@ -15,6 +17,14 @@
 //! (full report) and `BENCH_conformance.json` (runtime + pass-rate
 //! headline). Exit code 1 on any conformance failure.
 //!
+//! `backends` runs every smoke-corpus scenario through both executor
+//! backends (materializing and streaming) and demands identical targets
+//! and bit-identical stats; when the frame budget is smaller than the
+//! data volume it additionally asserts that the buffer pool really went
+//! through its spill path. `--rows` honors `ETLOPT_ROW_SCALE`. Aggregated
+//! execution counters go to stdout and `--trace-json`. Exit code 1 on any
+//! divergence.
+//!
 //! `replay` re-executes one chain — typically a minimizer-printed repro —
 //! and reports the oracle's verdict. Exit code 1 if the oracle fails the
 //! replayed state.
@@ -22,10 +32,12 @@
 use std::process::ExitCode;
 
 use etlopt::conformance::{
-    format_steps, minimize_failure, mutation_smoke, parse_steps, replay, run_corpus,
-    scenario_executor, CorpusConfig, Oracle,
+    backend_differential, format_steps, minimize_failure, mutation_smoke, parse_steps, replay,
+    run_corpus, scenario_executor, CorpusConfig, Oracle, SMOKE_SEEDS,
 };
-use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+use etlopt::core::trace::ExecCounters;
+use etlopt::engine::StreamConfig;
+use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
 
 fn parse_category(s: &str) -> Result<SizeCategory, String> {
     match s {
@@ -165,6 +177,72 @@ fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
     })
 }
 
+fn backends_cmd(mut flags: Flags) -> Result<ExitCode, String> {
+    let rows_flag: usize = flags.take_parsed("--rows", 96)?;
+    let frame_budget: usize = flags.take_parsed("--frame-budget", 2)?;
+    let batch_rows: usize = flags.take_parsed("--batch-rows", 8)?;
+    let trace_path = flags.take("--trace-json");
+    flags.ensure_empty()?;
+
+    let rows = rows_flag.saturating_mul(datagen::row_scale());
+    let cfg = StreamConfig {
+        batch_rows,
+        frame_budget,
+    };
+    eprintln!(
+        "backend differential over {} smoke scenarios, {rows} rows/source, \
+         frame budget {frame_budget} × {batch_rows}-row pages…",
+        SMOKE_SEEDS.len(),
+    );
+
+    let mut total = ExecCounters::default();
+    let mut failures = Vec::new();
+    for &seed in &SMOKE_SEEDS {
+        let s = Generator::generate(GeneratorConfig {
+            seed,
+            category: SizeCategory::Small,
+        });
+        match backend_differential(&s.workflow, rows, seed, cfg) {
+            Ok(counters) => {
+                eprintln!(
+                    "  {}: ok ({} batches, {} spilled, {} reloaded)",
+                    s.name, counters.batches, counters.pages_spilled, counters.pages_reloaded,
+                );
+                total.absorb(&counters);
+            }
+            Err(e) => {
+                eprintln!("  {}: FAIL {e}", s.name);
+                failures.push(format!("{}: {e}", s.name));
+            }
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, total.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("aggregated execution counters written to {path}");
+    }
+    print!("{}", total.to_json());
+
+    if !failures.is_empty() {
+        eprintln!("{} backend divergences:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    // A budget below the smoke volume must really exercise the spill path;
+    // a silent all-in-memory run would make this check vacuous.
+    if frame_budget * batch_rows < rows && !total.spilled() {
+        eprintln!(
+            "backend differential FAILURE: frame budget {frame_budget} never spilled \
+             ({} pages appended)",
+            total.pages_appended,
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn replay_cmd(mut flags: Flags) -> Result<ExitCode, String> {
     let seed: u64 = flags
         .take("--seed")
@@ -229,9 +307,10 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "sweep" => sweep(Flags(args)),
+        "backends" => backends_cmd(Flags(args)),
         "replay" => replay_cmd(Flags(args)),
         other => Err(format!(
-            "unknown command `{other}` (expected `sweep` or `replay`)"
+            "unknown command `{other}` (expected `sweep`, `backends`, or `replay`)"
         )),
     };
     match result {
