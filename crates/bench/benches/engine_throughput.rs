@@ -38,21 +38,26 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 /// Volume × backend matrix on the initial Fig. 1 state: materializing,
-/// streaming with the default pool, and streaming with a 4-frame pool
-/// (spilling). The printed counter lines feed the README perf table.
+/// streaming with the default pool, streaming with a 4-frame pool
+/// (spilling), and partition-parallel streaming at 2 and 4 workers. The
+/// printed counter lines feed the README perf table. Thread counts above
+/// `available_parallelism` are skipped with an honest note — timing them
+/// on an undersized machine would only record scheduler noise.
 fn bench_backends(c: &mut Criterion) {
     let wf = scenarios::fig1();
     let small_pool = StreamConfig {
         batch_rows: 256,
         frame_budget: 4,
+        parallelism: 1,
     };
+    let machine_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut group = c.benchmark_group("engine_backends");
     for &scale in &[1_000usize, 5_000, 20_000] {
         let catalog = scenarios::fig1_catalog(2005, scale / 30 + 10, scale);
         let materialize = Executor::new(catalog.clone());
         let stream = Executor::new(catalog.clone()).with_backend(Backend::Stream);
-        let spilling = Executor::new(catalog)
+        let spilling = Executor::new(catalog.clone())
             .with_backend(Backend::Stream)
             .with_stream_config(small_pool);
 
@@ -70,6 +75,37 @@ fn bench_backends(c: &mut Criterion) {
             &spilling,
             |b, exec| b.iter(|| exec.run(&wf).unwrap().stats.total()),
         );
+
+        // Threads dimension: partition-parallel streaming at the default
+        // pool. Every thread count is first checked bit-identical to the
+        // sequential stream before it is timed.
+        let sequential = stream.run_stream(&wf).unwrap();
+        for &threads in &[2usize, 4] {
+            let parallel = Executor::new(catalog.clone())
+                .with_backend(Backend::Stream)
+                .with_parallelism(threads);
+            let run = parallel.run_stream(&wf).unwrap();
+            assert_eq!(
+                sequential.result.targets, run.result.targets,
+                "parallel targets diverged at scale {scale}, {threads} threads"
+            );
+            assert_eq!(
+                sequential.result.stats, run.result.stats,
+                "parallel stats diverged at scale {scale}, {threads} threads"
+            );
+            if threads > machine_threads {
+                println!(
+                    "backends[scale {scale}]: stream_t{threads} \
+                     skipped: machine_threads = {machine_threads} < {threads}"
+                );
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("stream_t{threads}"), scale),
+                &parallel,
+                |b, exec| b.iter(|| exec.run(&wf).unwrap().stats.total()),
+            );
+        }
 
         let run = spilling.run_stream(&wf).unwrap();
         println!("backends[scale {scale}]: spilling run {:?}", run.counters);

@@ -172,6 +172,30 @@ pub fn backend_differential(
             mat.stats, stream.result.stats,
         ));
     }
+    // A partition-parallel stream must also be indistinguishable from the
+    // sequential stream — checked directly, not just via materialize, so a
+    // divergence names the thread count that introduced it.
+    if cfg.parallelism > 1 {
+        let seq = scenario_executor(wf, rows_per_source, seed)
+            .with_stream_config(StreamConfig {
+                parallelism: 1,
+                ..cfg
+            })
+            .run_stream(wf)
+            .map_err(|e| format!("1-thread stream backend failed: {e}"))?;
+        if seq.result.targets != stream.result.targets {
+            return Err(format!(
+                "targets diverge between 1 and {} stream workers",
+                cfg.parallelism,
+            ));
+        }
+        if seq.result.stats != stream.result.stats {
+            return Err(format!(
+                "ExecStats diverge between 1 and {} stream workers: {:?} vs {:?}",
+                cfg.parallelism, seq.result.stats, stream.result.stats,
+            ));
+        }
+    }
     Ok(stream.counters)
 }
 

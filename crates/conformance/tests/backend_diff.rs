@@ -38,9 +38,23 @@ fn smoke_corpus_agrees_under_tiny_frame_budget() {
     let counters = sweep(StreamConfig {
         batch_rows: 8,
         frame_budget: 2,
+        parallelism: 1,
     });
     // A 2-frame pool over 96-row sources in 8-row pages cannot hold any
     // materialization boundary: the spill path must actually run.
     assert!(counters.spilled(), "{counters:?}");
     assert!(counters.pages_reloaded > 0, "{counters:?}");
+}
+
+#[test]
+fn smoke_corpus_agrees_under_partition_parallelism() {
+    // 4 workers over the sharded pool: `backend_differential` checks the
+    // parallel stream against materialize *and* the 1-thread stream.
+    let counters = sweep(StreamConfig {
+        batch_rows: 8,
+        frame_budget: 4,
+        parallelism: 4,
+    });
+    assert_eq!(counters.worker_rows.len(), 4, "{counters:?}");
+    assert!(counters.worker_rows.iter().sum::<u64>() > 0, "{counters:?}");
 }

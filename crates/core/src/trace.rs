@@ -436,6 +436,12 @@ pub struct ExecCounters {
     pub cache_misses: u64,
     /// Intermediate results admitted into the shared cache.
     pub cache_insertions: u64,
+    /// Rows routed to each worker index by the partition-parallel
+    /// exchanges (the execution-plane counterpart of
+    /// [`SearchStats::worker_batches`]). Empty for sequential runs. The
+    /// routing hash is fixed-key, so the split is deterministic for a
+    /// given thread count.
+    pub worker_rows: Vec<u64>,
 }
 
 impl ExecCounters {
@@ -456,6 +462,12 @@ impl ExecCounters {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_insertions += other.cache_insertions;
+        if self.worker_rows.len() < other.worker_rows.len() {
+            self.worker_rows.resize(other.worker_rows.len(), 0);
+        }
+        for (mine, theirs) in self.worker_rows.iter_mut().zip(&other.worker_rows) {
+            *mine += theirs;
+        }
     }
 
     /// Machine-readable rendering, same idiom as [`SearchStats::to_json`].
@@ -467,7 +479,8 @@ impl ExecCounters {
                 "  \"pool\": {{\"pages_appended\": {}, \"pages_spilled\": {}, ",
                 "\"pages_reloaded\": {}, \"evictions\": {}, ",
                 "\"peak_resident_frames\": {}}},\n",
-                "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}}}\n",
+                "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}}},\n",
+                "  \"worker_rows\": [{}]\n",
                 "}}"
             ),
             self.batches,
@@ -479,6 +492,11 @@ impl ExecCounters {
             self.cache_hits,
             self.cache_misses,
             self.cache_insertions,
+            self.worker_rows
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
         )
     }
 }
@@ -780,11 +798,13 @@ mod tests {
             cache_hits: 1,
             cache_misses: 2,
             cache_insertions: 2,
+            worker_rows: vec![3, 4],
         };
         assert!(a.spilled());
         let b = ExecCounters {
             batches: 5,
             peak_resident_frames: 16,
+            worker_rows: vec![1, 1, 1],
             ..ExecCounters::default()
         };
         assert!(!b.spilled());
@@ -793,10 +813,13 @@ mod tests {
         assert_eq!(a.pages_spilled, 2);
         // Peak is a high-water mark: absorbed as a max, not a sum.
         assert_eq!(a.peak_resident_frames, 16);
+        // Worker splits absorb element-wise in worker-index order.
+        assert_eq!(a.worker_rows, vec![4, 5, 1]);
         let json = a.to_json();
         assert!(json.contains("\"pages_spilled\": 2"), "{json}");
         assert!(json.contains("\"peak_resident_frames\": 16"), "{json}");
         assert!(json.contains("\"hits\": 1"), "{json}");
+        assert!(json.contains("\"worker_rows\": [4, 5, 1]"), "{json}");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::table::Table;
 
@@ -30,7 +30,7 @@ use crate::table::Table;
 pub struct SharedCache {
     max_rows: usize,
     rows: usize,
-    entries: HashMap<u128, Rc<Table>>,
+    entries: HashMap<u128, Arc<Table>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u128>,
     hits: u64,
@@ -62,11 +62,11 @@ impl SharedCache {
     }
 
     /// Look up a node fingerprint, counting a hit or miss.
-    pub fn get(&mut self, key: u128) -> Option<Rc<Table>> {
+    pub fn get(&mut self, key: u128) -> Option<Arc<Table>> {
         match self.entries.get(&key) {
             Some(t) => {
                 self.hits += 1;
-                Some(Rc::clone(t))
+                Some(Arc::clone(t))
             }
             None => {
                 self.misses += 1;
@@ -78,7 +78,7 @@ impl SharedCache {
     /// Admit a table under a fingerprint, evicting oldest entries past the
     /// row budget. Tables larger than the whole budget and already-present
     /// keys are ignored.
-    pub fn insert(&mut self, key: u128, table: Rc<Table>) {
+    pub fn insert(&mut self, key: u128, table: Arc<Table>) {
         if table.len() > self.max_rows || self.entries.contains_key(&key) {
             return;
         }
@@ -128,8 +128,8 @@ mod tests {
     use super::*;
     use etlopt_core::schema::Schema;
 
-    fn table(rows: usize) -> Rc<Table> {
-        Rc::new(
+    fn table(rows: usize) -> Arc<Table> {
+        Arc::new(
             Table::from_rows(
                 Schema::of(["x"]),
                 (0..rows).map(|i| vec![(i as i64).into()]).collect(),

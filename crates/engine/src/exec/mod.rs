@@ -24,12 +24,13 @@
 //! runs.
 
 mod cache;
+pub(crate) mod partition;
 pub(crate) mod stream;
 
 pub use cache::SharedCache;
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use etlopt_core::activity::Op;
 use etlopt_core::error::CoreError;
@@ -63,6 +64,12 @@ pub struct StreamConfig {
     pub batch_rows: usize,
     /// Buffer-pool frame budget: pages resident before eviction/spill.
     pub frame_budget: usize,
+    /// Worker threads for partition-parallel execution (≥ 1). At 1 the
+    /// classic single-threaded pipeline runs; above 1 every node's rows
+    /// are hash-partitioned across this many scoped workers
+    /// (`partition`), with targets, row order, and [`ExecStats`] kept
+    /// bit-identical to the sequential run.
+    pub parallelism: usize,
 }
 
 impl Default for StreamConfig {
@@ -70,6 +77,7 @@ impl Default for StreamConfig {
         StreamConfig {
             batch_rows: 1024,
             frame_budget: 256,
+            parallelism: 1,
         }
     }
 }
@@ -111,7 +119,7 @@ enum Out {
     /// Fan-out: drained into a pool buffer, re-read per consumer.
     Buffered(BufferId),
     /// Served from the shared cache.
-    Cached(Rc<Table>),
+    Cached(Arc<Table>),
 }
 
 fn internal(reason: impl Into<String>) -> EngineError {
@@ -126,11 +134,8 @@ fn take_iter(outs: &mut HashMap<NodeId, Out>, id: NodeId, pool: &BufferPool) -> 
         Some(Out::Pipe(slot)) => slot
             .take()
             .ok_or_else(|| internal(format!("pipeline of node {id:?} consumed twice"))),
-        Some(Out::Buffered(buf)) => Ok(Box::new(stream::BufferScan::new(
-            *buf,
-            pool.schema(*buf).clone(),
-        ))),
-        Some(Out::Cached(t)) => Ok(Box::new(stream::CachedScan::new(Rc::clone(t)))),
+        Some(Out::Buffered(buf)) => Ok(Box::new(stream::BufferScan::new(*buf, pool.schema(*buf)))),
+        Some(Out::Cached(t)) => Ok(Box::new(stream::CachedScan::new(Arc::clone(t)))),
         None => Err(internal(format!("provider {id:?} has no planned output"))),
     }
 }
@@ -144,39 +149,43 @@ fn drain(rt: &mut Runtime<'_>, mut iter: BoxIter) -> Result<BufferId> {
     Ok(buf)
 }
 
-/// Execute `wf` with the streaming backend. With a cache, boundary
-/// lookups may serve whole subgraphs from prior runs (the cache must
-/// belong to this catalog — fingerprints hash structure, not data).
-pub(crate) fn run_stream(
-    ctx: ExecCtx<'_>,
-    wf: &Workflow,
-    cfg: StreamConfig,
-    mut cache: Option<&mut SharedCache>,
-) -> Result<StreamRun> {
-    let graph = wf.graph();
-    let order = graph.topo_order()?;
-    let mut rt = Runtime {
-        pool: BufferPool::new(PoolConfig {
-            frame_budget: cfg.frame_budget,
-        }),
-        stats: ExecStats::default(),
-        counters: ExecCounters::default(),
-        ctx,
-        batch_rows: cfg.batch_rows.max(1),
-    };
+/// Cache planning: fingerprints, boundary hits, and the node set that
+/// still executes. Shared by the sequential and partition-parallel
+/// executors so a cache populated by either serves the other.
+pub(crate) struct CachePlan {
+    pub(crate) hashes: Option<NodeHashes>,
+    pub(crate) cached: HashMap<NodeId, Arc<Table>>,
+    needed: Option<HashSet<NodeId>>,
+}
 
-    // With a cache: walk back from the targets, consulting the cache at
-    // materialization boundaries (the only admission points). A hit cuts
-    // off its whole upstream subgraph — the `needed` set is what actually
-    // executes. Without a cache every node runs, like materialize.
-    let mut hashes: Option<NodeHashes> = None;
-    let mut cached: HashMap<NodeId, Rc<Table>> = HashMap::new();
-    let mut needed: Option<HashSet<NodeId>> = None;
-    if let Some(c) = cache.as_deref_mut() {
+impl CachePlan {
+    /// Does this node execute (i.e. is it not cut off by a cache hit)?
+    pub(crate) fn runs(&self, id: NodeId) -> bool {
+        self.needed.as_ref().is_none_or(|n| n.contains(&id))
+    }
+}
+
+/// Walk back from the targets, consulting the cache at materialization
+/// boundaries (the only admission points). A hit cuts off its whole
+/// upstream subgraph — the returned `needed` set is what actually
+/// executes. Without a cache every node runs, like materialize.
+pub(crate) fn plan_cache(
+    wf: &Workflow,
+    order: &[NodeId],
+    cache: Option<&mut SharedCache>,
+    counters: &mut ExecCounters,
+) -> Result<CachePlan> {
+    let graph = wf.graph();
+    let mut plan = CachePlan {
+        hashes: None,
+        cached: HashMap::new(),
+        needed: None,
+    };
+    if let Some(c) = cache {
         let (h, _) = hash_state(wf);
         let mut keep: HashSet<NodeId> = HashSet::new();
         let mut stack: Vec<NodeId> = Vec::new();
-        for &id in &order {
+        for &id in order {
             if graph.consumers(id)?.is_empty() {
                 stack.push(id);
             }
@@ -189,26 +198,52 @@ pub(crate) fn run_stream(
             let is_target = consumers == 0 && matches!(graph.node(id)?, Node::Recordset(_));
             if consumers >= 2 || is_target {
                 if let Some(t) = c.get(h.of(id)) {
-                    rt.counters.cache_hits += 1;
-                    cached.insert(id, t);
+                    counters.cache_hits += 1;
+                    plan.cached.insert(id, t);
                     continue;
                 }
-                rt.counters.cache_misses += 1;
+                counters.cache_misses += 1;
             }
             for p in graph.providers(id)?.into_iter().flatten() {
                 stack.push(p);
             }
         }
-        hashes = Some(h);
-        needed = Some(keep);
+        plan.hashes = Some(h);
+        plan.needed = Some(keep);
     }
-    let runs = |id: &NodeId| needed.as_ref().is_none_or(|n| n.contains(id));
+    Ok(plan)
+}
+
+/// Execute `wf` with the streaming backend. With a cache, boundary
+/// lookups may serve whole subgraphs from prior runs (the cache must
+/// belong to this catalog — fingerprints hash structure, not data).
+pub(crate) fn run_stream(
+    ctx: ExecCtx<'_>,
+    wf: &Workflow,
+    cfg: StreamConfig,
+    mut cache: Option<&mut SharedCache>,
+) -> Result<StreamRun> {
+    if cfg.parallelism > 1 {
+        return partition::run_parallel(ctx, wf, cfg, cache);
+    }
+    let graph = wf.graph();
+    let order = graph.topo_order()?;
+    let mut rt = Runtime {
+        pool: BufferPool::new(PoolConfig::with_budget(cfg.frame_budget)),
+        stats: ExecStats::default(),
+        counters: ExecCounters::default(),
+        ctx,
+        batch_rows: cfg.batch_rows.max(1),
+    };
+
+    let plan = plan_cache(wf, &order, cache.as_deref_mut(), &mut rt.counters)?;
+    let runs = |id: &NodeId| plan.runs(*id);
 
     // Pre-seed a zero entry per executing activity: the materializing
     // executor creates entries unconditionally, and bit-identical stats
     // include the key set.
     for &id in &order {
-        if !runs(&id) || cached.contains_key(&id) {
+        if !runs(&id) || plan.cached.contains_key(&id) {
             continue;
         }
         if let Node::Activity(act) = graph.node(id)? {
@@ -225,13 +260,13 @@ pub(crate) fn run_stream(
         if !runs(&id) {
             continue;
         }
-        if let Some(t) = cached.get(&id) {
+        if let Some(t) = plan.cached.get(&id) {
             if let Node::Recordset(rs) = graph.node(id)? {
                 if graph.consumers(id)?.is_empty() {
                     targets.insert(rs.name.clone(), (**t).clone());
                 }
             }
-            outs.insert(id, Out::Cached(Rc::clone(t)));
+            outs.insert(id, Out::Cached(Arc::clone(t)));
             continue;
         }
         let consumers = graph.consumers(id)?.len();
@@ -255,8 +290,8 @@ pub(crate) fn run_stream(
                     // resident set), materialize at the API boundary.
                     let buf = drain(&mut rt, iter)?;
                     let table = rt.pool.to_table(buf)?;
-                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), hashes.as_ref()) {
-                        c.insert(h.of(id), Rc::new(table.clone()));
+                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                        c.insert(h.of(id), Arc::new(table.clone()));
                         rt.counters.cache_insertions += 1;
                     }
                     targets.insert(rs.name.clone(), table);
@@ -264,8 +299,8 @@ pub(crate) fn run_stream(
                     outs.insert(id, Out::Pipe(Some(iter)));
                 } else {
                     let buf = drain(&mut rt, iter)?;
-                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), hashes.as_ref()) {
-                        c.insert(h.of(id), Rc::new(rt.pool.to_table(buf)?));
+                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                        c.insert(h.of(id), Arc::new(rt.pool.to_table(buf)?));
                         rt.counters.cache_insertions += 1;
                     }
                     outs.insert(id, Out::Buffered(buf));
@@ -307,8 +342,8 @@ pub(crate) fn run_stream(
                     outs.insert(id, Out::Pipe(Some(iter)));
                 } else {
                     let buf = drain(&mut rt, iter)?;
-                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), hashes.as_ref()) {
-                        c.insert(h.of(id), Rc::new(rt.pool.to_table(buf)?));
+                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                        c.insert(h.of(id), Arc::new(rt.pool.to_table(buf)?));
                         rt.counters.cache_insertions += 1;
                     }
                     outs.insert(id, Out::Buffered(buf));
@@ -317,7 +352,7 @@ pub(crate) fn run_stream(
         }
     }
 
-    let pool_traffic = rt.pool.counters().clone();
+    let pool_traffic = rt.pool.counters();
     rt.counters.absorb(&pool_traffic);
     Ok(StreamRun {
         result: ExecResult {
@@ -418,6 +453,7 @@ mod tests {
         let exec = executor(2000).with_stream_config(StreamConfig {
             batch_rows: 64,
             frame_budget: 2,
+            parallelism: 1,
         });
         let run = assert_backends_agree(&exec, &wf);
         assert!(run.counters.spilled(), "{:?}", run.counters);
@@ -439,6 +475,7 @@ mod tests {
         let exec = executor(300).with_stream_config(StreamConfig {
             batch_rows: 32,
             frame_budget: 4,
+            parallelism: 1,
         });
         assert_backends_agree(&exec, &wf);
     }

@@ -1,0 +1,1261 @@
+//! Partition-parallel streaming execution.
+//!
+//! Above `parallelism = 1` the streaming backend switches from one
+//! single-threaded pipeline to a **hash-partitioned** plan: every node's
+//! rows are split across N partitions, each partition is processed by its
+//! own scoped worker thread (the `opt/parallel.rs::Threads` discipline:
+//! spawn per round, join before the coordinator proceeds), and fan-in
+//! points merge partitions back deterministically.
+//!
+//! # The determinism contract
+//!
+//! Targets, row order, and [`ExecStats`] must stay **bit-identical** to
+//! the sequential stream and materializing backends at every thread
+//! count. Three mechanisms carry that guarantee:
+//!
+//! 1. **Order tags.** Every row carries a `u64` tag recording its
+//!    position in the node's sequential output order. Partitions keep
+//!    their rows tag-ascending, so a k-way **merge by tag** at any fan-in
+//!    (targets, cache boundaries) reconstructs the exact sequential row
+//!    order. Operators preserve the invariant: filters keep tags,
+//!    keep-first operators keep the *minimum* tag per key (= the
+//!    sequential keep-first decision), aggregation tags each group with
+//!    its first-seen input tag (= first-appearance emission order), and
+//!    joins compose `(left tag, right tag)` lexicographically (= the
+//!    sequential probe order) before re-densifying.
+//! 2. **Co-location.** Each [`PartSet`] tracks its partitioning
+//!    [`Scheme`]. Key-based operators (PK check, dedup, aggregation,
+//!    join, bag difference/intersection) demand that equal keys share a
+//!    partition; when the current scheme cannot prove that, an
+//!    **exchange** re-routes rows by an FNV-1a hash of the canonical key
+//!    string (never the process-randomized `HashMap` hasher). Because
+//!    equal keys co-locate, each worker's keyed state is exactly the
+//!    sequential state restricted to its shard, and because partition
+//!    input stays tag-ascending, per-group accumulation order (and hence
+//!    float aggregation) is bit-identical.
+//! 3. **Worker-index-order absorption.** Workers never touch shared
+//!    counters; the coordinator sums their outputs in partition-index
+//!    order, and pool counters merge shard-by-shard — so the counter
+//!    report is deterministic for a given thread count (the PR 4
+//!    `Collector` discipline).
+//!
+//! Partition contents live in coordinator memory between nodes (the
+//! parallel plan trades the sequential backend's strict streaming for
+//! parallelism); the frame-budget-bounded [`BufferPool`] still bounds
+//! join build sides and target drains, which is where the sequential
+//! backend materializes too. The pool is sharded one-shard-per-worker
+//! (see `crate::pool`), so workers evict without contending.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
+
+use etlopt_core::activity::Op;
+use etlopt_core::error::CoreError;
+use etlopt_core::graph::{Node, NodeId};
+use etlopt_core::predicate::Predicate;
+use etlopt_core::schema::{Attr, Schema};
+use etlopt_core::semantics::{Aggregation, BinaryOp, UnaryOp};
+use etlopt_core::trace::ExecCounters;
+use etlopt_core::workflow::Workflow;
+
+use crate::error::{EngineError, Result};
+use crate::eval;
+use crate::executor::{ExecResult, ExecStats};
+use crate::ops::{self, tuple_key, AggState, ExecCtx};
+use crate::pool::{BufferId, BufferPool, PoolConfig};
+use crate::table::{Row, Table};
+
+use super::{plan_cache, SharedCache, StreamConfig, StreamRun};
+
+/// A row plus its sequential-order tag.
+type Tagged = (u64, Row);
+
+fn internal(reason: impl Into<String>) -> EngineError {
+    EngineError::FunctionFailed {
+        function: "exec::partition".into(),
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partitioning scheme and routed row sets
+// ---------------------------------------------------------------------
+
+/// How a [`PartSet`]'s rows are distributed across partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scheme {
+    /// Hash-partitioned on the listed attributes: two rows agreeing on
+    /// them are guaranteed to share a partition.
+    Keys(Vec<Attr>),
+    /// No co-location guarantee (round-robin source distribution, or a
+    /// key-breaking operator ran).
+    Arbitrary,
+}
+
+impl Scheme {
+    /// Does this scheme co-locate rows that agree on `req`? Hashing on a
+    /// *subset* of the required keys suffices: equal `req`-values imply
+    /// equal subset-values, hence the same partition.
+    fn colocates(&self, req: &[Attr]) -> bool {
+        match self {
+            Scheme::Keys(s) => s.iter().all(|a| req.contains(a)),
+            Scheme::Arbitrary => false,
+        }
+    }
+
+    /// Is this any key-based scheme (co-locates identical whole rows)?
+    fn is_keys(&self) -> bool {
+        matches!(self, Scheme::Keys(_))
+    }
+}
+
+/// One node output, split across partitions. Every partition's rows are
+/// tag-ascending; the tag space is node-local (only relative order
+/// matters downstream).
+#[derive(Debug, Clone)]
+struct PartSet {
+    schema: Schema,
+    scheme: Scheme,
+    parts: Vec<Vec<Tagged>>,
+}
+
+fn set_rows(set: &PartSet) -> u64 {
+    set.parts.iter().map(|p| p.len() as u64).sum()
+}
+
+fn max_tag(set: &PartSet) -> Option<u64> {
+    set.parts
+        .iter()
+        .filter_map(|p| p.last().map(|(t, _)| *t))
+        .max()
+}
+
+/// Co-location demanded by a keyed operator.
+enum Require {
+    /// Equal values of these attributes must share a partition.
+    Keys(Vec<Attr>),
+    /// Identical whole rows must share a partition (any key scheme works).
+    WholeRow,
+}
+
+// ---------------------------------------------------------------------
+// Deterministic routing
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the canonical key bytes. The partitioner must hash
+/// identically on every run and every thread count — `HashMap`'s
+/// `RandomState` is seeded per process and must never route rows.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Destination partition for a canonical key string.
+fn route(key: &str, nparts: usize) -> usize {
+    (fnv1a(key.as_bytes()) % nparts as u64) as usize
+}
+
+// ---------------------------------------------------------------------
+// Scoped worker fan-out
+// ---------------------------------------------------------------------
+
+/// Run `f(partition_index)` for every partition on scoped threads and
+/// return the results in partition order. When several workers fail, the
+/// lowest partition index wins — deterministic at any thread count.
+fn per_part<R, F>(nparts: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send + Sync,
+    F: Fn(usize) -> Result<R> + Sync,
+{
+    let slots: Vec<OnceLock<Result<R>>> = (0..nparts).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (i, slot) in slots.iter().enumerate() {
+            scope.spawn(move || {
+                let _ = slot.set(f(i));
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(nparts);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => return Err(internal(format!("partition worker {i} produced no result"))),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Merge / exchange
+// ---------------------------------------------------------------------
+
+/// K-way merge of tag-ascending lanes into one tag-ascending vector.
+/// Tags are unique across lanes, so the merge is a total order.
+fn merge_tagged(lanes: Vec<Vec<Tagged>>) -> Vec<Tagged> {
+    let total = lanes.iter().map(Vec::len).sum();
+    let mut src: Vec<VecDeque<Tagged>> = lanes.into_iter().map(Into::into).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, q) in src.iter().enumerate() {
+            if let Some((tag, _)) = q.front() {
+                if best.is_none_or(|(bt, _)| *tag < bt) {
+                    best = Some((*tag, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else { break };
+        if let Some(t) = src[i].pop_front() {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Merge a set back into sequential row order, dropping the tags.
+fn merge_rows(set: PartSet) -> Vec<Row> {
+    merge_tagged(set.parts)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+/// Replace wide (composite) join tags with dense `u64` tags in global
+/// composite order, keeping each row in its partition.
+fn retag_dense(parts: Vec<Vec<(u128, Row)>>) -> Vec<Vec<Tagged>> {
+    let mut out: Vec<Vec<Tagged>> = parts.iter().map(|p| Vec::with_capacity(p.len())).collect();
+    let mut src: Vec<VecDeque<(u128, Row)>> = parts.into_iter().map(Into::into).collect();
+    let mut next = 0u64;
+    loop {
+        let mut best: Option<(u128, usize)> = None;
+        for (i, q) in src.iter().enumerate() {
+            if let Some((tag, _)) = q.front() {
+                if best.is_none_or(|(bt, _)| *tag < bt) {
+                    best = Some((*tag, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else { break };
+        if let Some((_, row)) = src[i].pop_front() {
+            out[i].push((next, row));
+            next += 1;
+        }
+    }
+    out
+}
+
+/// The exchange operator: re-route every row to `route(hash(keys))`,
+/// preserving tags (so partitions stay tag-ascending). Worker `j` scans
+/// all source partitions and keeps the rows destined for itself; the
+/// per-source selections merge by tag.
+fn exchange(
+    set: &PartSet,
+    keys: &[Attr],
+    nparts: usize,
+    counters: &mut ExecCounters,
+) -> Result<PartSet> {
+    let probe = Table::empty(set.schema.clone());
+    let cols: Vec<usize> = keys.iter().map(|a| probe.col(a)).collect::<Result<_>>()?;
+    let parts = per_part(nparts, |j| {
+        let lanes: Vec<Vec<Tagged>> = set
+            .parts
+            .iter()
+            .map(|src| {
+                src.iter()
+                    .filter(|(_, row)| {
+                        route(&tuple_key(cols.iter().map(|&c| &row[c])), nparts) == j
+                    })
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        Ok(merge_tagged(lanes))
+    })?;
+    for (j, part) in parts.iter().enumerate() {
+        counters.worker_rows[j] += part.len() as u64;
+    }
+    Ok(PartSet {
+        schema: set.schema.clone(),
+        scheme: Scheme::Keys(keys.to_vec()),
+        parts,
+    })
+}
+
+/// Split a source table round-robin across partitions, tagging rows with
+/// their table order.
+fn distribute(table: Table, nparts: usize, counters: &mut ExecCounters) -> PartSet {
+    let schema = table.schema().clone();
+    let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); nparts];
+    for (i, row) in table.into_rows().into_iter().enumerate() {
+        let j = i % nparts;
+        parts[j].push((i as u64, row));
+        counters.worker_rows[j] += 1;
+    }
+    PartSet {
+        schema,
+        scheme: Scheme::Arbitrary,
+        parts,
+    }
+}
+
+/// Permute every partition's rows into `target` column order (recordset
+/// nodes present their provider under the declared schema). Tags and
+/// scheme are untouched — attributes keep their names.
+fn reorder_set(set: PartSet, target: &Schema) -> Result<PartSet> {
+    if &set.schema == target {
+        return Ok(set);
+    }
+    let probe = Table::empty(set.schema.clone());
+    let mut perm = Vec::with_capacity(target.len());
+    for a in target.iter() {
+        perm.push(probe.col(a)?);
+    }
+    let parts = set
+        .parts
+        .into_iter()
+        .map(|part| {
+            part.into_iter()
+                .map(|(tag, row)| (tag, perm.iter().map(|&i| row[i].clone()).collect()))
+                .collect()
+        })
+        .collect();
+    Ok(PartSet {
+        schema: target.clone(),
+        scheme: set.scheme,
+        parts,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Unary chains
+// ---------------------------------------------------------------------
+
+/// The per-partition execution plan of one chain link.
+enum LinkPlan {
+    /// Per-row predicate evaluation (tags pass through).
+    Filter(Predicate),
+    /// Keep rows whose column is non-NULL.
+    NotNull(usize),
+    /// Keep the first (minimum-tag) row per key: `Some(cols)` for the PK
+    /// check, `None` for whole-row dedup.
+    KeepFirst(Option<Vec<usize>>),
+    /// Partitioned group-by aggregation.
+    Aggregate {
+        agg: Aggregation,
+        group_cols: Vec<usize>,
+    },
+    /// 1:1 row-wise operator via the materializing implementation.
+    RowWise(UnaryOp),
+}
+
+/// One planned chain link: its execution plan, schemas, and the
+/// co-location it demands.
+struct Link {
+    plan: LinkPlan,
+    in_schema: Schema,
+    out_schema: Schema,
+    require: Option<Require>,
+}
+
+/// Plan every link of a unary chain up front — probing each operator
+/// against an empty table exactly like the sequential
+/// `stream::unary_pipeline` does — so schema errors surface before any
+/// data moves, in the same order the sequential backend raises them.
+fn plan_chain(chain: &[UnaryOp], input_schema: &Schema, ctx: &ExecCtx<'_>) -> Result<Vec<Link>> {
+    let mut links = Vec::with_capacity(chain.len());
+    let mut cur = input_schema.clone();
+    for op in chain {
+        let probe = Table::empty(cur.clone());
+        let (plan, out_schema, require) = match op {
+            UnaryOp::PkCheck { key, .. } => {
+                let cols: Vec<usize> = key.iter().map(|a| probe.col(a)).collect::<Result<_>>()?;
+                (
+                    LinkPlan::KeepFirst(Some(cols)),
+                    cur.clone(),
+                    Some(Require::Keys(key.clone())),
+                )
+            }
+            UnaryOp::Dedup { .. } => (
+                LinkPlan::KeepFirst(None),
+                cur.clone(),
+                Some(Require::WholeRow),
+            ),
+            UnaryOp::Aggregate { agg, .. } => {
+                let state = AggState::new(agg, &cur)?;
+                let out = state.output_schema();
+                let group_cols: Vec<usize> = agg
+                    .group_by
+                    .iter()
+                    .map(|a| probe.col(a))
+                    .collect::<Result<_>>()?;
+                (
+                    LinkPlan::Aggregate {
+                        agg: agg.clone(),
+                        group_cols,
+                    },
+                    out,
+                    Some(Require::Keys(agg.group_by.clone())),
+                )
+            }
+            op => {
+                // Row-wise and filtering operators: derive the output
+                // schema (and surface schema errors) through the
+                // materializing implementation on an empty probe.
+                let out = ops::exec_unary(op, &probe, ctx)?.schema().clone();
+                let plan = match op {
+                    UnaryOp::Filter { predicate, .. } => LinkPlan::Filter(predicate.clone()),
+                    UnaryOp::NotNull { attr, .. } => LinkPlan::NotNull(probe.col(attr)?),
+                    other => LinkPlan::RowWise(other.clone()),
+                };
+                (plan, out, None)
+            }
+        };
+        links.push(Link {
+            plan,
+            in_schema: cur.clone(),
+            out_schema: out_schema.clone(),
+            require,
+        });
+        cur = out_schema;
+    }
+    Ok(links)
+}
+
+/// How a link transforms the partitioning scheme. Soundness, not
+/// precision: a preserved `Keys` claim must actually still co-locate;
+/// degrading to `Arbitrary` merely forces a later exchange.
+fn scheme_after(plan: &LinkPlan, scheme: Scheme) -> Scheme {
+    let Scheme::Keys(keys) = scheme else {
+        return Scheme::Arbitrary;
+    };
+    let broken = match plan {
+        // Row filters never move or rewrite columns.
+        LinkPlan::Filter(_) | LinkPlan::NotNull(_) | LinkPlan::KeepFirst(_) => false,
+        // Group rows keep their groupers' values; other columns vanish.
+        LinkPlan::Aggregate { agg, .. } => !keys.iter().all(|k| agg.group_by.contains(k)),
+        LinkPlan::RowWise(op) => match op {
+            UnaryOp::ProjectOut(attrs) => keys.iter().any(|k| attrs.contains(k)),
+            UnaryOp::AddField { attr, .. } => keys.contains(attr),
+            UnaryOp::Function(f) => {
+                keys.contains(&f.output)
+                    || (!f.keep_inputs && f.inputs.iter().any(|a| keys.contains(a)))
+            }
+            UnaryOp::SurrogateKey { key, surrogate, .. } => {
+                keys.contains(key) || keys.contains(surrogate)
+            }
+            _ => false,
+        },
+    };
+    if broken {
+        Scheme::Arbitrary
+    } else {
+        Scheme::Keys(keys)
+    }
+}
+
+/// Execute one planned link over one partition. Input is tag-ascending;
+/// output must be too.
+fn apply_link(link: &Link, part: &[Tagged], ctx: &ExecCtx<'_>) -> Result<Vec<Tagged>> {
+    match &link.plan {
+        LinkPlan::Filter(pred) => {
+            let probe = Table::empty(link.in_schema.clone());
+            let mut out = Vec::new();
+            for (tag, row) in part {
+                if eval::eval(pred, &probe, row)?.passes() {
+                    out.push((*tag, row.clone()));
+                }
+            }
+            Ok(out)
+        }
+        LinkPlan::NotNull(col) => Ok(part
+            .iter()
+            .filter(|(_, row)| !row[*col].is_null())
+            .cloned()
+            .collect()),
+        LinkPlan::KeepFirst(cols) => {
+            let mut seen: HashMap<String, ()> = HashMap::new();
+            let mut out = Vec::new();
+            for (tag, row) in part {
+                let k = match cols {
+                    Some(cols) => tuple_key(cols.iter().map(|&c| &row[c])),
+                    None => tuple_key(row.iter()),
+                };
+                if let Entry::Vacant(e) = seen.entry(k) {
+                    e.insert(());
+                    out.push((*tag, row.clone()));
+                }
+            }
+            Ok(out)
+        }
+        LinkPlan::Aggregate { agg, group_cols } => {
+            // The whole group lives in this partition and arrives in
+            // global input order, so accumulation order — and float
+            // sums — match the sequential run bit-for-bit. Each group
+            // is tagged with its first-seen input tag: ascending in
+            // first-appearance order, the sequential emission order.
+            let mut state = AggState::new(agg, &link.in_schema)?;
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut first_tags: Vec<u64> = Vec::new();
+            for (tag, row) in part {
+                if seen.insert(tuple_key(group_cols.iter().map(|&c| &row[c]))) {
+                    first_tags.push(*tag);
+                }
+                state.feed_row(row)?;
+            }
+            let rows = state.finish()?.into_rows();
+            if rows.len() != first_tags.len() {
+                return Err(internal("aggregate group count drifted from tag count"));
+            }
+            Ok(first_tags.into_iter().zip(rows).collect())
+        }
+        LinkPlan::RowWise(op) => {
+            let (tags, rows): (Vec<u64>, Vec<Row>) = part.iter().cloned().unzip();
+            let t = Table::from_rows(link.in_schema.clone(), rows)?;
+            let out = ops::exec_unary(op, &t, ctx)?.into_rows();
+            if out.len() != tags.len() {
+                return Err(internal(format!(
+                    "row-wise operator changed cardinality ({} -> {})",
+                    tags.len(),
+                    out.len()
+                )));
+            }
+            Ok(tags.into_iter().zip(out).collect())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------
+
+/// Shared state of one partition-parallel run.
+struct ParRuntime<'a> {
+    pool: BufferPool,
+    stats: ExecStats,
+    counters: ExecCounters,
+    ctx: ExecCtx<'a>,
+    batch_rows: usize,
+    nparts: usize,
+}
+
+fn add(map: &mut BTreeMap<String, u64>, key: &str, n: u64) {
+    *map.entry(key.to_owned()).or_insert(0) += n;
+}
+
+impl ParRuntime<'_> {
+    /// Exchange `set` if its scheme cannot prove the required
+    /// co-location.
+    fn exchange_for(&mut self, set: PartSet, req: &Require) -> Result<PartSet> {
+        let satisfied = match req {
+            Require::Keys(k) => set.scheme.colocates(k),
+            Require::WholeRow => set.scheme.is_keys(),
+        };
+        if satisfied {
+            return Ok(set);
+        }
+        let keys: Vec<Attr> = match req {
+            Require::Keys(k) => k.clone(),
+            Require::WholeRow => set.schema.iter().cloned().collect(),
+        };
+        exchange(&set, &keys, self.nparts, &mut self.counters)
+    }
+
+    /// Run a unary chain (a single op is a one-link chain) under one
+    /// activity key: every link counts `rows_processed`, only the last
+    /// counts `rows_out` — the sequential pipeline's pricing.
+    fn run_chain(&mut self, chain: &[UnaryOp], mut set: PartSet, key: &str) -> Result<PartSet> {
+        let links = plan_chain(chain, &set.schema, &self.ctx)?;
+        if links.is_empty() {
+            // Empty merged chain: pass rows through, count output only
+            // (the sequential `Tally`).
+            add(&mut self.stats.rows_out, key, set_rows(&set));
+            return Ok(set);
+        }
+        let last = links.len() - 1;
+        for (i, link) in links.iter().enumerate() {
+            if let Some(req) = &link.require {
+                set = self.exchange_for(set, req)?;
+            }
+            add(&mut self.stats.rows_processed, key, set_rows(&set));
+            let scheme = scheme_after(&link.plan, set.scheme.clone());
+            let ctx = &self.ctx;
+            let input = &set;
+            let parts = per_part(self.nparts, |j| apply_link(link, &input.parts[j], ctx))?;
+            set = PartSet {
+                schema: link.out_schema.clone(),
+                scheme,
+                parts,
+            };
+            if i == last {
+                add(&mut self.stats.rows_out, key, set_rows(&set));
+            }
+        }
+        Ok(set)
+    }
+
+    /// Run one binary activity: partitioned hash join, union, or bag
+    /// difference/intersection.
+    fn run_binary(
+        &mut self,
+        op: &BinaryOp,
+        left: PartSet,
+        right: PartSet,
+        key: &str,
+    ) -> Result<PartSet> {
+        // Probe with empty inputs first: schema validation and output
+        // derivation go through the exact materializing code path, like
+        // the sequential `binary_pipeline`.
+        let out_schema = ops::exec_binary(
+            op,
+            &Table::empty(left.schema.clone()),
+            &Table::empty(right.schema.clone()),
+        )?
+        .schema()
+        .clone();
+        match op {
+            BinaryOp::Union => {
+                let right = reorder_set(right, &left.schema)?;
+                let total = set_rows(&left) + set_rows(&right);
+                add(&mut self.stats.rows_processed, key, total);
+                add(&mut self.stats.rows_out, key, total);
+                // Sequential union order: every left row, then every
+                // right row — realized by offsetting right tags past
+                // the left tag space.
+                let lbase = max_tag(&left).map_or(0, |t| t + 1);
+                let scheme = if left.scheme == right.scheme {
+                    left.scheme.clone()
+                } else {
+                    Scheme::Arbitrary
+                };
+                let parts = left
+                    .parts
+                    .into_iter()
+                    .zip(right.parts)
+                    .map(|(mut l, r)| {
+                        l.extend(r.into_iter().map(|(t, row)| (t + lbase, row)));
+                        l
+                    })
+                    .collect();
+                Ok(PartSet {
+                    schema: out_schema,
+                    scheme,
+                    parts,
+                })
+            }
+            BinaryOp::Join(on) => self.run_join(on, left, right, out_schema, key),
+            BinaryOp::Difference | BinaryOp::Intersection => {
+                let intersect = matches!(op, BinaryOp::Intersection);
+                let right = reorder_set(right, &left.schema)?;
+                // Whole-row bag arithmetic: both sides must share one
+                // key scheme. Prefer aligning the right side to the
+                // left's existing scheme over re-routing both.
+                let (left, right) = match (&left.scheme, &right.scheme) {
+                    (Scheme::Keys(a), Scheme::Keys(b)) if a == b => (left, right),
+                    (Scheme::Keys(a), _) => {
+                        let k = a.clone();
+                        let right = exchange(&right, &k, self.nparts, &mut self.counters)?;
+                        (left, right)
+                    }
+                    _ => {
+                        let all: Vec<Attr> = left.schema.iter().cloned().collect();
+                        (
+                            exchange(&left, &all, self.nparts, &mut self.counters)?,
+                            exchange(&right, &all, self.nparts, &mut self.counters)?,
+                        )
+                    }
+                };
+                add(&mut self.stats.rows_processed, key, set_rows(&right));
+                add(&mut self.stats.rows_processed, key, set_rows(&left));
+                let (lref, rref) = (&left, &right);
+                let parts = per_part(self.nparts, |j| {
+                    // Equal rows co-locate, so this partition's
+                    // multiplicity map is the sequential map restricted
+                    // to its keys; left rows cancel in tag order.
+                    let mut counts: HashMap<String, usize> = HashMap::new();
+                    for (_, row) in &rref.parts[j] {
+                        *counts.entry(tuple_key(row.iter())).or_insert(0) += 1;
+                    }
+                    let mut out = Vec::new();
+                    for (tag, row) in &lref.parts[j] {
+                        let k = tuple_key(row.iter());
+                        if intersect {
+                            if let Some(c) = counts.get_mut(&k) {
+                                if *c > 0 {
+                                    *c -= 1;
+                                    out.push((*tag, row.clone()));
+                                }
+                            }
+                        } else {
+                            match counts.get_mut(&k) {
+                                Some(c) if *c > 0 => *c -= 1,
+                                _ => out.push((*tag, row.clone())),
+                            }
+                        }
+                    }
+                    Ok(out)
+                })?;
+                let set = PartSet {
+                    schema: out_schema,
+                    scheme: left.scheme.clone(),
+                    parts,
+                };
+                add(&mut self.stats.rows_out, key, set_rows(&set));
+                Ok(set)
+            }
+        }
+    }
+
+    /// Partitioned hash join: align both sides on (a subset of) the join
+    /// key, then each worker builds its shard's right side through the
+    /// buffer pool and probes its shard's left side independently.
+    fn run_join(
+        &mut self,
+        on: &[Attr],
+        left: PartSet,
+        right: PartSet,
+        out_schema: Schema,
+        key: &str,
+    ) -> Result<PartSet> {
+        let lprobe = Table::empty(left.schema.clone());
+        let rprobe = Table::empty(right.schema.clone());
+        let lcols: Vec<usize> = on.iter().map(|a| lprobe.col(a)).collect::<Result<_>>()?;
+        let rcols: Vec<usize> = on.iter().map(|a| rprobe.col(a)).collect::<Result<_>>()?;
+        let extra: Vec<usize> = right
+            .schema
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !left.schema.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let subset = |s: &[Attr]| s.iter().all(|a| on.contains(a));
+        // Matching rows must co-locate: both sides hashed on the same
+        // attribute list, which must be a subset of the join key. Reuse
+        // an existing side's scheme where possible.
+        let (left, right) = match (&left.scheme, &right.scheme) {
+            (Scheme::Keys(a), Scheme::Keys(b)) if a == b && subset(a) => (left, right),
+            (Scheme::Keys(a), _) if subset(a) => {
+                let k = a.clone();
+                let right = exchange(&right, &k, self.nparts, &mut self.counters)?;
+                (left, right)
+            }
+            (_, Scheme::Keys(b)) if subset(b) => {
+                let k = b.clone();
+                let left = exchange(&left, &k, self.nparts, &mut self.counters)?;
+                (left, right)
+            }
+            _ => (
+                exchange(&left, on, self.nparts, &mut self.counters)?,
+                exchange(&right, on, self.nparts, &mut self.counters)?,
+            ),
+        };
+        // Sequential pricing: the whole build side, then the whole
+        // probe side.
+        add(&mut self.stats.rows_processed, key, set_rows(&right));
+        add(&mut self.stats.rows_processed, key, set_rows(&left));
+        // Composite output tag (left tag, right tag), lexicographic —
+        // the sequential probe emission order (left rows in order, each
+        // row's matches in right insertion order).
+        let rbound = max_tag(&right).map_or(1u128, |t| u128::from(t) + 1);
+        let scheme = left.scheme.clone();
+        // Build buffers are created in partition order by the
+        // coordinator so buffer → shard placement is deterministic;
+        // worker `j` only ever touches `bufs[j]`.
+        let bufs: Vec<BufferId> = (0..self.nparts)
+            .map(|_| self.pool.create(right.schema.clone()))
+            .collect();
+        let pool = &self.pool;
+        let batch_rows = self.batch_rows;
+        let (lref, rref) = (&left, &right);
+        let emitted: Vec<Vec<(u128, Row)>> = per_part(self.nparts, |j| {
+            let buf = bufs[j];
+            let rpart = &rref.parts[j];
+            // Drain the build side through the pool in page-sized
+            // chunks (bounding residency like the sequential join) and
+            // index key → (row position, right tag). NULL keys are
+            // stored but never indexed — they never join.
+            let mut index: HashMap<String, Vec<(usize, u64)>> = HashMap::new();
+            for (pos, (rtag, row)) in rpart.iter().enumerate() {
+                if !rcols.iter().any(|&c| row[c].is_null()) {
+                    index
+                        .entry(tuple_key(rcols.iter().map(|&c| &row[c])))
+                        .or_default()
+                        .push((pos, *rtag));
+                }
+            }
+            for chunk in rpart.chunks(batch_rows) {
+                pool.append(buf, chunk.iter().map(|(_, r)| r.clone()).collect())?;
+            }
+            let mut out: Vec<(u128, Row)> = Vec::new();
+            for (ltag, lrow) in &lref.parts[j] {
+                if lcols.iter().any(|&c| lrow[c].is_null()) {
+                    continue;
+                }
+                if let Some(matches) = index.get(&tuple_key(lcols.iter().map(|&c| &lrow[c]))) {
+                    for &(pos, rtag) in matches {
+                        let rrow = pool.row(buf, pos)?;
+                        let mut row = lrow.clone();
+                        row.extend(extra.iter().map(|&c| rrow[c].clone()));
+                        out.push((u128::from(*ltag) * rbound + u128::from(rtag), row));
+                    }
+                }
+            }
+            pool.free(buf);
+            Ok(out)
+        })?;
+        let out_total: u64 = emitted.iter().map(|p| p.len() as u64).sum();
+        add(&mut self.stats.rows_out, key, out_total);
+        Ok(PartSet {
+            schema: out_schema,
+            scheme,
+            parts: retag_dense(emitted),
+        })
+    }
+
+    /// Merge a set and drain it through the pool (bounding the resident
+    /// set like a sequential target drain), materializing a table.
+    fn drain_merged(&mut self, set: PartSet) -> Result<Table> {
+        let schema = set.schema.clone();
+        let rows = merge_rows(set);
+        let buf = self.pool.create(schema);
+        let mut it = rows.into_iter();
+        loop {
+            let chunk: Vec<Row> = it.by_ref().take(self.batch_rows).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            self.counters.batches += 1;
+            self.pool.append(buf, chunk)?;
+        }
+        let table = self.pool.to_table(buf)?;
+        self.pool.free(buf);
+        Ok(table)
+    }
+}
+
+/// A produced node output awaiting its consumers: cloned out per
+/// consumer, moved out to the last one.
+struct Slot {
+    set: PartSet,
+    left: usize,
+}
+
+fn take_set(outs: &mut HashMap<NodeId, Slot>, id: NodeId) -> Result<PartSet> {
+    match outs.get_mut(&id) {
+        Some(slot) => {
+            slot.left -= 1;
+            if slot.left == 0 {
+                Ok(outs
+                    .remove(&id)
+                    .map(|s| s.set)
+                    .unwrap_or_else(unreachable_set))
+            } else {
+                Ok(slot.set.clone())
+            }
+        }
+        None => Err(internal(format!("provider {id:?} has no planned output"))),
+    }
+}
+
+fn unreachable_set() -> PartSet {
+    PartSet {
+        schema: Schema::default(),
+        scheme: Scheme::Arbitrary,
+        parts: Vec::new(),
+    }
+}
+
+fn take_first(inputs: &mut Vec<PartSet>, id: NodeId) -> Result<PartSet> {
+    if inputs.is_empty() {
+        return Err(internal(format!("node {id:?} lacks an input pipeline")));
+    }
+    Ok(inputs.remove(0))
+}
+
+/// Execute `wf` with the partition-parallel streaming backend. Targets,
+/// row order, and stats are bit-identical to the sequential stream (and
+/// hence to materialize); counters are deterministic for a given
+/// `cfg.parallelism`.
+pub(crate) fn run_parallel(
+    ctx: ExecCtx<'_>,
+    wf: &Workflow,
+    cfg: StreamConfig,
+    mut cache: Option<&mut SharedCache>,
+) -> Result<StreamRun> {
+    let nparts = cfg.parallelism.max(2);
+    let graph = wf.graph();
+    let order = graph.topo_order()?;
+    let mut rt = ParRuntime {
+        pool: BufferPool::new(PoolConfig {
+            frame_budget: cfg.frame_budget,
+            shards: nparts,
+        }),
+        stats: ExecStats::default(),
+        counters: ExecCounters::default(),
+        ctx,
+        batch_rows: cfg.batch_rows.max(1),
+        nparts,
+    };
+    rt.counters.worker_rows = vec![0; nparts];
+
+    let plan = plan_cache(wf, &order, cache.as_deref_mut(), &mut rt.counters)?;
+
+    // Pre-seed a zero entry per executing activity (bit-identical stats
+    // include the key set).
+    for &id in &order {
+        if !plan.runs(id) || plan.cached.contains_key(&id) {
+            continue;
+        }
+        if let Node::Activity(act) = graph.node(id)? {
+            let key = act.id.to_string();
+            rt.stats.rows_processed.entry(key.clone()).or_insert(0);
+            rt.stats.rows_out.entry(key).or_insert(0);
+        }
+    }
+
+    let mut outs: HashMap<NodeId, Slot> = HashMap::new();
+    let mut targets: BTreeMap<String, Table> = BTreeMap::new();
+
+    for &id in &order {
+        if !plan.runs(id) {
+            continue;
+        }
+        let consumers = graph.consumers(id)?.len();
+        if let Some(t) = plan.cached.get(&id) {
+            if consumers == 0 {
+                if let Node::Recordset(rs) = graph.node(id)? {
+                    targets.insert(rs.name.clone(), (**t).clone());
+                }
+            } else {
+                let set = distribute((**t).clone(), rt.nparts, &mut rt.counters);
+                outs.insert(
+                    id,
+                    Slot {
+                        set,
+                        left: consumers,
+                    },
+                );
+            }
+            continue;
+        }
+        match graph.node(id)? {
+            Node::Recordset(rs) => {
+                let set = match graph.provider(id, 0)? {
+                    None => {
+                        let t = rt
+                            .ctx
+                            .catalog
+                            .table(&rs.name)
+                            .ok_or_else(|| EngineError::MissingSource(rs.name.clone()))?;
+                        let source = t.reordered(&rs.schema)?;
+                        distribute(source, rt.nparts, &mut rt.counters)
+                    }
+                    Some(p) => reorder_set(take_set(&mut outs, p)?, &rs.schema)?,
+                };
+                if consumers == 0 {
+                    let table = rt.drain_merged(set)?;
+                    if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                        c.insert(h.of(id), Arc::new(table.clone()));
+                        rt.counters.cache_insertions += 1;
+                    }
+                    targets.insert(rs.name.clone(), table);
+                } else {
+                    if consumers >= 2 {
+                        if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                            c.insert(h.of(id), Arc::new(rt.drain_merged(set.clone())?));
+                            rt.counters.cache_insertions += 1;
+                        }
+                    }
+                    outs.insert(
+                        id,
+                        Slot {
+                            set,
+                            left: consumers,
+                        },
+                    );
+                }
+            }
+            Node::Activity(act) => {
+                let mut inputs: Vec<PartSet> = Vec::new();
+                for p in graph.providers(id)? {
+                    let p = p.ok_or(EngineError::Core(CoreError::MissingProvider {
+                        node: id,
+                        port: 0,
+                    }))?;
+                    inputs.push(take_set(&mut outs, p)?);
+                }
+                let key = act.id.to_string();
+                let set = match &act.op {
+                    Op::Unary(op) => {
+                        let input = take_first(&mut inputs, id)?;
+                        rt.run_chain(std::slice::from_ref(op), input, &key)?
+                    }
+                    Op::Merged(chain) => {
+                        let input = take_first(&mut inputs, id)?;
+                        rt.run_chain(chain, input, &key)?
+                    }
+                    Op::Binary(op) => {
+                        let right = inputs
+                            .pop()
+                            .ok_or_else(|| internal(format!("binary node {id:?} lacks inputs")))?;
+                        let left = take_first(&mut inputs, id)?;
+                        rt.run_binary(op, left, right, &key)?
+                    }
+                };
+                rt.counters.batches += set.parts.iter().filter(|p| !p.is_empty()).count() as u64;
+                if consumers == 0 {
+                    // Dangling activity: executed for stats parity, rows
+                    // discarded.
+                    drop(set);
+                } else {
+                    if consumers >= 2 {
+                        if let (Some(c), Some(h)) = (cache.as_deref_mut(), plan.hashes.as_ref()) {
+                            c.insert(h.of(id), Arc::new(rt.drain_merged(set.clone())?));
+                            rt.counters.cache_insertions += 1;
+                        }
+                    }
+                    outs.insert(
+                        id,
+                        Slot {
+                            set,
+                            left: consumers,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let pool_traffic = rt.pool.counters();
+    rt.counters.absorb(&pool_traffic);
+    Ok(StreamRun {
+        result: ExecResult {
+            targets,
+            stats: rt.stats,
+        },
+        counters: rt.counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::executor::Executor;
+    use etlopt_core::scalar::Scalar;
+    use etlopt_core::workflow::WorkflowBuilder;
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_keys() {
+        let hits: Vec<usize> = (0..64).map(|i| route(&format!("key-{i}"), 4)).collect();
+        let again: Vec<usize> = (0..64).map(|i| route(&format!("key-{i}"), 4)).collect();
+        assert_eq!(hits, again, "routing must be stable across calls");
+        let used: HashSet<usize> = hits.iter().copied().collect();
+        assert!(used.len() > 1, "64 distinct keys should hit >1 partition");
+        assert!(hits.iter().all(|&p| p < 4));
+    }
+
+    fn keyed_table(rows: i64) -> Table {
+        Table::from_rows(
+            Schema::of(["k", "v"]),
+            (0..rows)
+                .map(|i| {
+                    vec![
+                        Scalar::Int(i % 13),
+                        if i % 7 == 0 {
+                            Scalar::Null
+                        } else {
+                            Scalar::Float(i as f64)
+                        },
+                    ]
+                })
+                .collect(),
+        )
+        .expect("fixture rows match schema")
+    }
+
+    #[test]
+    fn exchange_preserves_multiset_and_colocates_keys() {
+        let mut counters = ExecCounters {
+            worker_rows: vec![0; 4],
+            ..ExecCounters::default()
+        };
+        let table = keyed_table(200);
+        let input_rows = table.rows().to_vec();
+        let set = distribute(table, 4, &mut counters);
+        let out = exchange(&set, &[Attr::new("k")], 4, &mut counters).expect("exchange succeeds");
+
+        // Union of partitions = input multiset, and tags survive intact.
+        let mut merged = merge_tagged(out.parts.clone());
+        assert_eq!(merged.len(), input_rows.len());
+        let tags: Vec<u64> = merged.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, (0..200u64).collect::<Vec<_>>());
+        let rows: Vec<Row> = merged.drain(..).map(|(_, r)| r).collect();
+        assert_eq!(rows, input_rows);
+
+        // Same key → same partition, and partitions stay tag-ascending.
+        let probe = Table::empty(out.schema.clone());
+        let kcol = probe.col(&Attr::new("k")).expect("k resolves");
+        let mut home: HashMap<String, usize> = HashMap::new();
+        for (j, part) in out.parts.iter().enumerate() {
+            let mut last = None;
+            for (tag, row) in part {
+                assert!(last.is_none_or(|l| l < *tag), "tags ascend per partition");
+                last = Some(*tag);
+                let k = tuple_key([&row[kcol]].into_iter());
+                assert_eq!(
+                    *home.entry(k).or_insert(j),
+                    j,
+                    "key split across partitions"
+                );
+            }
+        }
+        assert!(home.len() > 1);
+    }
+
+    fn rich_workflow() -> etlopt_core::workflow::Workflow {
+        use etlopt_core::predicate::Predicate;
+        use etlopt_core::semantics::Aggregation;
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 300.0);
+        let d = b.source("D", Schema::of(["k", "name"]), 40.0);
+        let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+        let hi = b.unary("HI", UnaryOp::filter(Predicate::gt("v", 150.0)), nn);
+        let lo = b.unary("LO", UnaryOp::filter(Predicate::le("v", 150.0)), nn);
+        let u = b.binary("U", BinaryOp::Union, hi, lo);
+        let dd = b.unary("DD", UnaryOp::Dedup { selectivity: 1.0 }, u);
+        let j = b.binary("J", BinaryOp::Join(vec![Attr::new("k")]), dd, d);
+        let g = b.unary(
+            "G",
+            UnaryOp::aggregate(Aggregation::sum(["k"], "v", "v")),
+            j,
+        );
+        b.target("T1", Schema::of(["k", "v"]), g);
+        b.target("T2", Schema::of(["k", "v"]), hi);
+        b.build().expect("workflow builds")
+    }
+
+    fn rich_executor() -> Executor {
+        let mut cat = Catalog::new();
+        cat.insert("S", keyed_table(300));
+        cat.insert(
+            "D",
+            Table::from_rows(
+                Schema::of(["k", "name"]),
+                (0..13)
+                    .map(|i| vec![Scalar::Int(i), Scalar::from(format!("d{i}"))])
+                    .collect(),
+            )
+            .expect("dimension fixture"),
+        );
+        Executor::new(cat)
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let wf = rich_workflow();
+        let exec = rich_executor();
+        let seq = exec.run_stream(&wf).expect("sequential run");
+        for threads in [2, 3, 4] {
+            let par = rich_executor()
+                .with_parallelism(threads)
+                .run_stream(&wf)
+                .unwrap_or_else(|e| panic!("parallel run at {threads} threads: {e:?}"));
+            assert_eq!(
+                seq.result.targets, par.result.targets,
+                "targets must be bit-identical at {threads} threads"
+            );
+            assert_eq!(
+                seq.result.stats, par.result.stats,
+                "stats must be bit-identical at {threads} threads"
+            );
+            assert_eq!(
+                par.counters.worker_rows.len(),
+                threads,
+                "one batch-split lane per worker"
+            );
+            assert!(par.counters.worker_rows.iter().sum::<u64>() > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_run_under_tiny_pool_spills_and_matches() {
+        let mut b = WorkflowBuilder::new();
+        use etlopt_core::predicate::Predicate;
+        let s = b.source("S", Schema::of(["k", "v"]), 300.0);
+        let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+        let f = b.unary("F", UnaryOp::filter(Predicate::gt("v", 10.0)), nn);
+        b.target("T", Schema::of(["k", "v"]), f);
+        let wf = b.build().expect("workflow builds");
+        let mut cat = Catalog::new();
+        cat.insert("S", keyed_table(300));
+        let seq = Executor::new(cat.clone())
+            .with_stream_config(StreamConfig {
+                batch_rows: 8,
+                frame_budget: 2,
+                parallelism: 1,
+            })
+            .run_stream(&wf)
+            .expect("sequential run");
+        let par = Executor::new(cat)
+            .with_stream_config(StreamConfig {
+                batch_rows: 8,
+                frame_budget: 2,
+                parallelism: 4,
+            })
+            .run_stream(&wf)
+            .expect("parallel run");
+        assert_eq!(seq.result.targets, par.result.targets);
+        assert_eq!(seq.result.stats, par.result.stats);
+        assert!(par.counters.spilled(), "{:?}", par.counters);
+    }
+
+    #[test]
+    fn parallel_cached_rerun_serves_targets_from_cache() {
+        let wf = rich_workflow();
+        let exec = rich_executor().with_parallelism(2);
+        let mut cache = SharedCache::new();
+        let first = exec.run_stream_cached(&wf, &mut cache).expect("first run");
+        assert!(first.counters.cache_insertions > 0);
+        let second = exec.run_stream_cached(&wf, &mut cache).expect("second run");
+        assert!(second.counters.cache_hits > 0, "{:?}", second.counters);
+        assert_eq!(first.result.targets, second.result.targets);
+        // And a sequential consumer of the same cache sees the same
+        // tables.
+        let seq = rich_executor()
+            .run_stream_cached(&wf, &mut cache)
+            .expect("sequential cached run");
+        assert_eq!(first.result.targets, seq.result.targets);
+    }
+
+    #[test]
+    fn difference_and_intersection_match_sequential() {
+        use etlopt_core::predicate::Predicate;
+        for op in [BinaryOp::Difference, BinaryOp::Intersection] {
+            let mut b = WorkflowBuilder::new();
+            let s = b.source("S", Schema::of(["k", "v"]), 300.0);
+            let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+            let hi = b.unary("HI", UnaryOp::filter(Predicate::gt("v", 150.0)), nn);
+            let x = b.binary("X", op.clone(), nn, hi);
+            b.target("T", Schema::of(["k", "v"]), x);
+            let wf = b.build().expect("workflow builds");
+            let mut cat = Catalog::new();
+            cat.insert("S", keyed_table(300));
+            let seq = Executor::new(cat.clone())
+                .run_stream(&wf)
+                .expect("sequential run");
+            let par = Executor::new(cat)
+                .with_parallelism(3)
+                .run_stream(&wf)
+                .expect("parallel run");
+            assert_eq!(seq.result.targets, par.result.targets, "{op:?}");
+            assert_eq!(seq.result.stats, par.result.stats, "{op:?}");
+        }
+    }
+}

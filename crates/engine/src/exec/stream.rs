@@ -17,7 +17,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use etlopt_core::schema::Schema;
 use etlopt_core::semantics::{BinaryOp, UnaryOp};
@@ -78,15 +78,15 @@ impl BatchIter for TableScan {
     }
 }
 
-/// Scan over a cached table shared via `Rc` (cache hits).
+/// Scan over a cached table shared via `Arc` (cache hits).
 pub(crate) struct CachedScan {
-    table: Rc<Table>,
+    table: Arc<Table>,
     schema: Schema,
     pos: usize,
 }
 
 impl CachedScan {
-    pub(crate) fn new(table: Rc<Table>) -> CachedScan {
+    pub(crate) fn new(table: Arc<Table>) -> CachedScan {
         CachedScan {
             schema: table.schema().clone(),
             table,

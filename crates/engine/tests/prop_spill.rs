@@ -20,6 +20,7 @@ const CASES: u64 = 48;
 const TINY: StreamConfig = StreamConfig {
     batch_rows: 8,
     frame_budget: 2,
+    parallelism: 1,
 };
 
 fn value(rng: &mut Rng) -> Scalar {
@@ -122,6 +123,71 @@ fn spilled_runs_stay_bit_identical() {
     }
     // The corpus as a whole must have really gone through the spill path.
     assert!(total_spilled > 0, "tiny budget never spilled");
+}
+
+/// Parallel variant of [`check`]: the partition-parallel stream at
+/// `threads` must reproduce the 1-thread stream bit-for-bit (targets
+/// *and* stats) under the same tiny pool. Returns the parallel run's
+/// spilled-page count so the corpus can prove the sharded pool really
+/// spilled.
+fn check_parallel(wf: &Workflow, catalog: Catalog, seed: u64, threads: usize) -> u64 {
+    let base = Executor::new(catalog.clone())
+        .with_stream_config(TINY)
+        .run_stream(wf)
+        .expect("1-thread stream executes");
+    let cfg = StreamConfig {
+        parallelism: threads,
+        ..TINY
+    };
+    let par = Executor::new(catalog)
+        .with_stream_config(cfg)
+        .run_stream(wf)
+        .expect("parallel stream executes");
+    assert_eq!(
+        base.result.targets, par.result.targets,
+        "seed {seed}: targets at {threads} threads"
+    );
+    assert_eq!(
+        base.result.stats, par.result.stats,
+        "seed {seed}: stats at {threads} threads"
+    );
+    par.counters.pages_spilled
+}
+
+/// The partition-parallel stream under the two-frame pool: every case
+/// runs at 1, 2, and 4 workers; targets and `ExecStats` must be
+/// bit-identical to the 1-thread stream throughout, and the corpus as a
+/// whole must exercise the sharded spill path. The aggregation and
+/// dedup-free fan-out workflows cover both exchange-forcing (group-by)
+/// and exchange-free (row-wise) plans.
+#[test]
+fn parallel_spilled_runs_stay_bit_identical() {
+    let mut total_spilled = 0;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9a17);
+        let rows = rng.gen_range(150..300usize);
+        let cut = rng.gen_range(-400.0..400.0f64);
+        for threads in [2usize, 4] {
+            let mut cat = Catalog::new();
+            cat.insert("S", random_table(&mut rng, rows));
+            total_spilled += check_parallel(&fan_out_wf(cut), cat, seed, threads);
+
+            let mut cat = Catalog::new();
+            cat.insert("S", random_table(&mut rng, rows));
+            total_spilled += check_parallel(&agg_wf(cut), cat, seed, threads);
+
+            let op = if seed % 2 == 0 {
+                BinaryOp::Difference
+            } else {
+                BinaryOp::Intersection
+            };
+            let mut cat = Catalog::new();
+            cat.insert("A", random_table(&mut rng, rows));
+            cat.insert("B", random_table(&mut rng, rows / 2));
+            total_spilled += check_parallel(&binary_wf(op), cat, seed, threads);
+        }
+    }
+    assert!(total_spilled > 0, "tiny sharded pool never spilled");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //!                    [--rows N] [--states N] [--parallelism N] [--chain-len N]
 //!                    [--out FILE] [--bench FILE] [--trace-json FILE]
 //! conformance backends [--rows N] [--frame-budget N] [--batch-rows N]
-//!                      [--trace-json FILE]
+//!                      [--threads N] [--trace-json FILE]
 //! conformance replay --seed N --category small|medium|large --steps S
 //!                    [--rows N]
 //! ```
@@ -21,9 +21,12 @@
 //! backends (materializing and streaming) and demands identical targets
 //! and bit-identical stats; when the frame budget is smaller than the
 //! data volume it additionally asserts that the buffer pool really went
-//! through its spill path. `--rows` honors `ETLOPT_ROW_SCALE`. Aggregated
-//! execution counters go to stdout and `--trace-json`. Exit code 1 on any
-//! divergence.
+//! through its spill path. `--threads N` (default 1) runs the stream with
+//! N partition-parallel workers; above 1 every scenario is additionally
+//! checked bit-identical against the 1-thread stream, and the counter
+//! report carries the per-worker batch split (`worker_rows`). `--rows`
+//! honors `ETLOPT_ROW_SCALE`. Aggregated execution counters go to stdout
+//! and `--trace-json`. Exit code 1 on any divergence.
 //!
 //! `replay` re-executes one chain — typically a minimizer-printed repro —
 //! and reports the oracle's verdict. Exit code 1 if the oracle fails the
@@ -181,6 +184,7 @@ fn backends_cmd(mut flags: Flags) -> Result<ExitCode, String> {
     let rows_flag: usize = flags.take_parsed("--rows", 96)?;
     let frame_budget: usize = flags.take_parsed("--frame-budget", 2)?;
     let batch_rows: usize = flags.take_parsed("--batch-rows", 8)?;
+    let threads: usize = flags.take_parsed("--threads", 1)?;
     let trace_path = flags.take("--trace-json");
     flags.ensure_empty()?;
 
@@ -188,11 +192,13 @@ fn backends_cmd(mut flags: Flags) -> Result<ExitCode, String> {
     let cfg = StreamConfig {
         batch_rows,
         frame_budget,
+        parallelism: threads.max(1),
     };
     eprintln!(
         "backend differential over {} smoke scenarios, {rows} rows/source, \
-         frame budget {frame_budget} × {batch_rows}-row pages…",
+         frame budget {frame_budget} × {batch_rows}-row pages, {} stream worker(s)…",
         SMOKE_SEEDS.len(),
+        cfg.parallelism,
     );
 
     let mut total = ExecCounters::default();
@@ -204,10 +210,21 @@ fn backends_cmd(mut flags: Flags) -> Result<ExitCode, String> {
         });
         match backend_differential(&s.workflow, rows, seed, cfg) {
             Ok(counters) => {
-                eprintln!(
-                    "  {}: ok ({} batches, {} spilled, {} reloaded)",
-                    s.name, counters.batches, counters.pages_spilled, counters.pages_reloaded,
-                );
+                if cfg.parallelism > 1 {
+                    eprintln!(
+                        "  {}: ok ({} batches, {} spilled, {} reloaded, workers {:?})",
+                        s.name,
+                        counters.batches,
+                        counters.pages_spilled,
+                        counters.pages_reloaded,
+                        counters.worker_rows,
+                    );
+                } else {
+                    eprintln!(
+                        "  {}: ok ({} batches, {} spilled, {} reloaded)",
+                        s.name, counters.batches, counters.pages_spilled, counters.pages_reloaded,
+                    );
+                }
                 total.absorb(&counters);
             }
             Err(e) => {

@@ -1,0 +1,114 @@
+//! Engine-throughput baseline: wall-clock for the Fig. 1 workflow across
+//! the backend × volume matrix — materializing, sequential streaming,
+//! and partition-parallel streaming at 2 and 4 workers.
+//!
+//! Emits `BENCH_engine.json` in the current directory. Criterion-free so
+//! it runs offline from the workspace (the criterion matrix lives in
+//! `crates/bench/benches/engine_throughput.rs` for connected machines);
+//! run with `cargo run --release --bin engine_bench`.
+//!
+//! Honest-skip discipline (the `search_bench` precedent): a thread count
+//! above `available_parallelism` is *verified* for bit-identical targets
+//! and stats but not timed — its rate is `null` with a
+//! `"skipped: machine_threads = N < T"` note, because timing oversubscribed
+//! workers records scheduler noise, not speedup.
+
+use std::time::Instant;
+
+use etlopt::engine::{Backend, Executor};
+use etlopt::workload::scenarios;
+
+const REPS: u32 = 5;
+
+/// Rows/sec over a few repetitions, keeping the best run (least noise).
+fn rate(exec: &Executor, wf: &etlopt::core::workflow::Workflow, rows: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        std::hint::black_box(exec.run(wf).expect("benchmark run executes"));
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(rows as f64 / secs);
+    }
+    best
+}
+
+fn json_rate(r: Option<f64>) -> String {
+    match r {
+        Some(r) => format!("{r:.0}"),
+        None => "null".to_owned(),
+    }
+}
+
+fn main() {
+    let machine_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wf = scenarios::fig1();
+
+    let mut tiers = Vec::new();
+    for &scale in &[1_000usize, 5_000, 20_000] {
+        let catalog = scenarios::fig1_catalog(2005, scale / 30 + 10, scale);
+        let materialize = Executor::new(catalog.clone());
+        let stream = Executor::new(catalog.clone()).with_backend(Backend::Stream);
+
+        let mat_rate = rate(&materialize, &wf, scale);
+        let seq_rate = rate(&stream, &wf, scale);
+        let sequential = stream.run_stream(&wf).expect("sequential stream executes");
+
+        let mut threads_json = Vec::new();
+        for &threads in &[2usize, 4] {
+            let parallel = Executor::new(catalog.clone())
+                .with_backend(Backend::Stream)
+                .with_parallelism(threads);
+            // Correctness is asserted at every thread count even when the
+            // timing is skipped.
+            let run = parallel.run_stream(&wf).expect("parallel stream executes");
+            assert_eq!(
+                sequential.result.targets, run.result.targets,
+                "parallel targets diverged at scale {scale}, {threads} threads"
+            );
+            assert_eq!(
+                sequential.result.stats, run.result.stats,
+                "parallel stats diverged at scale {scale}, {threads} threads"
+            );
+            let (par_rate, speedup, note) = if threads > machine_threads {
+                (
+                    None,
+                    None,
+                    format!(
+                        ", \"note\": \"skipped: machine_threads = {machine_threads} < {threads}\""
+                    ),
+                )
+            } else {
+                let r = rate(&parallel, &wf, scale);
+                (Some(r), Some(r / seq_rate), String::new())
+            };
+            threads_json.push(format!(
+                "      {{\"threads\": {threads}, \"rows_per_sec\": {}, \"speedup_vs_seq\": {}{note}}}",
+                json_rate(par_rate),
+                speedup.map_or("null".to_owned(), |s| format!("{s:.2}")),
+            ));
+        }
+
+        eprintln!("scale {scale}: materialize {mat_rate:.0} rows/s, stream {seq_rate:.0} rows/s");
+        tiers.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"scale\": {},\n",
+                "    \"materialize_rows_per_sec\": {},\n",
+                "    \"stream_rows_per_sec\": {},\n",
+                "    \"parallel\": [\n{}\n    ]\n",
+                "  }}"
+            ),
+            scale,
+            json_rate(Some(mat_rate)),
+            json_rate(Some(seq_rate)),
+            threads_json.join(",\n"),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"machine_threads\": {machine_threads},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        tiers.join(",\n"),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    print!("{json}");
+}
