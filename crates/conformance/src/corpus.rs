@@ -10,9 +10,13 @@
 use std::time::Instant;
 
 use etlopt_core::cost::RowCountModel;
-use etlopt_core::opt::{ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer, SearchBudget};
+use etlopt_core::opt::{
+    run_adaptive, AdaptiveConfig, ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer,
+    SearchBudget,
+};
 use etlopt_core::trace::SearchStats;
-use etlopt_workload::{Generator, Scenario, SizeCategory};
+use etlopt_engine::Harvester;
+use etlopt_workload::{CalibrationStore, Generator, Scenario, SizeCategory};
 
 use crate::chain::{format_steps, random_chain, replay};
 use crate::minimize::minimize_failure;
@@ -39,6 +43,10 @@ pub struct CorpusConfig {
     pub parallelism: usize,
     /// Length of the random transition chain per scenario.
     pub chain_len: usize,
+    /// Round budget for the adaptive calibrate → re-optimize check per
+    /// scenario (`0` disables the check — the default; the `--adaptive`
+    /// flag enables it).
+    pub adaptive_rounds: usize,
 }
 
 impl Default for CorpusConfig {
@@ -52,6 +60,7 @@ impl Default for CorpusConfig {
             search_states: 600,
             parallelism: 1,
             chain_len: 8,
+            adaptive_rounds: 0,
         }
     }
 }
@@ -123,6 +132,10 @@ pub struct CorpusReport {
     pub passed: usize,
     /// Total warning-grade drift observations.
     pub warnings: usize,
+    /// Adaptive-loop checks judged (0 unless the sweep ran `--adaptive`).
+    pub adaptive_checks: usize,
+    /// Adaptive-loop checks that converged *and* passed the oracle.
+    pub adaptive_passed: usize,
     /// Wall-clock seconds of the whole sweep.
     pub elapsed_secs: f64,
     /// Search telemetry aggregated per algorithm (ES, HS, HS-Greedy) across
@@ -137,6 +150,15 @@ impl CorpusReport {
             1.0
         } else {
             self.passed as f64 / self.checks as f64
+        }
+    }
+
+    /// Pass rate of the adaptive-loop checks alone, in `[0, 1]`.
+    pub fn adaptive_pass_rate(&self) -> f64 {
+        if self.adaptive_checks == 0 {
+            1.0
+        } else {
+            self.adaptive_passed as f64 / self.adaptive_checks as f64
         }
     }
 
@@ -200,6 +222,8 @@ impl CorpusReport {
                 "  \"failed\": {},\n",
                 "  \"pass_rate\": {:.4},\n",
                 "  \"activity_warnings\": {},\n",
+                "  \"adaptive\": {{\"rounds\": {}, \"checks\": {}, \"passed\": {}, ",
+                "\"pass_rate\": {:.4}}},\n",
                 "  \"elapsed_secs\": {:.2},\n",
                 "  \"failures\": [\n{}\n  ]\n",
                 "}}\n"
@@ -217,6 +241,10 @@ impl CorpusReport {
             self.failed.len(),
             self.pass_rate(),
             self.warnings,
+            self.config.adaptive_rounds,
+            self.adaptive_checks,
+            self.adaptive_passed,
+            self.adaptive_pass_rate(),
             self.elapsed_secs,
             failures,
         )
@@ -292,12 +320,73 @@ fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig, agg: &mut [SearchStats; 3]) 
         warnings: v.warnings.len(),
     });
 
+    // The feedback loop: calibrate → re-optimize → converge, with the
+    // final converged plan judged by the same oracle as the one-shot
+    // searches. Failing to converge within the budget is itself a failure.
+    if cfg.adaptive_rounds > 0 {
+        checks.push(adaptive_check(s, cfg, &oracle));
+    }
+
     ScenarioOutcome {
         name: s.name.clone(),
         seed: s.seed,
         category: s.category,
         checks,
         chain_steps: format_steps(&steps),
+    }
+}
+
+/// Run the adaptive loop on one scenario and judge its converged plan.
+/// The loop gets a fresh executor (same derived data seed as the oracle's,
+/// so ground truth matches), a cold [`CalibrationStore`], and the HS
+/// optimizer under the sweep's state budget.
+fn adaptive_check(s: &Scenario, cfg: &CorpusConfig, oracle: &Oracle) -> CheckOutcome {
+    let budget = SearchBudget::states(cfg.search_states).with_parallelism(cfg.parallelism);
+    let optimizer = HeuristicSearch::with_budget(budget);
+    let mut harvester = Harvester::new(scenario_executor(&s.workflow, cfg.rows_per_source, s.seed));
+    let mut store = CalibrationStore::new();
+    let model = RowCountModel::default();
+
+    let report = match run_adaptive(
+        &s.workflow,
+        &model,
+        &optimizer,
+        &mut harvester,
+        &mut store,
+        AdaptiveConfig::rounds(cfg.adaptive_rounds),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            return CheckOutcome {
+                kind: "adaptive".into(),
+                passed: false,
+                failures: vec![format!("adaptive loop failed: {e}")],
+                warnings: 0,
+            }
+        }
+    };
+
+    let mut failures = Vec::new();
+    let mut warnings = 0;
+    if !report.converged {
+        failures.push(format!(
+            "adaptive loop did not converge within {} rounds",
+            cfg.adaptive_rounds
+        ));
+    }
+    match report.final_plan() {
+        Some(plan) => {
+            let v = oracle.check(plan);
+            warnings = v.warnings.len();
+            failures.extend(v.failure_lines());
+        }
+        None => failures.push("adaptive loop produced no plan".to_owned()),
+    }
+    CheckOutcome {
+        kind: "adaptive".into(),
+        passed: failures.is_empty(),
+        failures,
+        warnings,
     }
 }
 
@@ -372,11 +461,18 @@ pub fn run_corpus(
         SearchStats::new("HS-Greedy"),
     ];
 
+    let (mut adaptive_checks, mut adaptive_passed) = (0usize, 0usize);
     for (i, s) in suite.iter().enumerate() {
         let outcome = sweep_scenario(s, cfg, &mut agg);
         for c in &outcome.checks {
             checks += 1;
             warnings += c.warnings;
+            if c.kind == "adaptive" {
+                adaptive_checks += 1;
+                if c.passed {
+                    adaptive_passed += 1;
+                }
+            }
             if c.passed {
                 passed += 1;
             } else {
@@ -411,6 +507,8 @@ pub fn run_corpus(
         checks,
         passed,
         warnings,
+        adaptive_checks,
+        adaptive_passed,
         elapsed_secs: started.elapsed().as_secs_f64(),
         search_stats: agg.to_vec(),
     }
@@ -456,5 +554,38 @@ mod tests {
         for algo in ["\"ES\"", "\"HS\"", "\"HS-Greedy\""] {
             assert!(trace.contains(algo), "{trace}");
         }
+    }
+
+    /// With `adaptive_rounds` set, every scenario gains an adaptive-loop
+    /// check, its pass rate is accounted separately, and the converged
+    /// plans pass the same oracle as the one-shot searches.
+    #[test]
+    fn mini_corpus_adaptive_checks_pass() {
+        let cfg = CorpusConfig {
+            small: 2,
+            medium: 0,
+            large: 0,
+            search_states: 150,
+            chain_len: 5,
+            adaptive_rounds: 4,
+            ..CorpusConfig::default()
+        };
+        let report = run_corpus(&cfg, |_, _, _| {});
+        assert_eq!(
+            report.checks, 10,
+            "2 scenarios x (3 algos + chain + adaptive)"
+        );
+        assert_eq!(report.adaptive_checks, 2);
+        assert!(
+            report.failed.is_empty(),
+            "conformance failures: {:#?}",
+            report.failed
+        );
+        assert_eq!(report.adaptive_passed, 2);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"adaptive\": {\"rounds\": 4, \"checks\": 2, \"passed\": 2, \"pass_rate\": 1.0000}"),
+            "{json}"
+        );
     }
 }

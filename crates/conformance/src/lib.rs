@@ -40,4 +40,7 @@ pub use corpus::{
     mutation_smoke, run_corpus, CorpusConfig, CorpusReport, SmokeReport, SMOKE_SEEDS,
 };
 pub use minimize::{minimize_failure, Repro};
-pub use oracle::{backend_differential, scenario_executor, Failure, Oracle, Verdict};
+pub use oracle::{
+    backend_differential, scenario_executor, transfer_calibration, CalibrationTransfer, Failure,
+    Oracle, Verdict,
+};

@@ -57,6 +57,11 @@ pub enum Failure {
     },
     /// Predicted target cardinalities drifted outside tolerance.
     RowCountDrift(Vec<RowCountMismatch>),
+    /// Adjustable activities in the candidate that the original run never
+    /// observed, so no selectivity could be transferred. Cross-validating
+    /// such a candidate would silently price the unobserved activities as
+    /// selectivity-1 pass-throughs — an unsound baseline.
+    Uncalibrated(Vec<String>),
 }
 
 impl std::fmt::Display for Failure {
@@ -86,6 +91,12 @@ impl std::fmt::Display for Failure {
                     write!(f, "{m}")?;
                 }
                 Ok(())
+            }
+            Failure::Uncalibrated(acts) => {
+                write!(
+                    f,
+                    "no observed statistics for activities {acts:?}; cannot calibrate"
+                )
             }
         }
     }
@@ -296,7 +307,10 @@ impl Oracle {
         // 2. Cost cross-validation: predictions for the candidate topology
         // under the original run's observed statistics.
         match self.cross_validate_candidate(candidate, &run) {
-            Ok((target_drift, activity_drift)) => {
+            Ok((unobserved, target_drift, activity_drift)) => {
+                if !unobserved.is_empty() {
+                    failures.push(Failure::Uncalibrated(unobserved));
+                }
                 if !target_drift.is_empty() {
                     failures.push(Failure::RowCountDrift(target_drift));
                 }
@@ -308,15 +322,20 @@ impl Oracle {
         Verdict { failures, warnings }
     }
 
-    /// Predicted-vs-observed row counts for a candidate: `(failure-grade
-    /// target drift, warning-grade activity drift)`.
+    /// Predicted-vs-observed row counts for a candidate: `(unobserved
+    /// adjustable activities, failure-grade target drift, warning-grade
+    /// activity drift)`. A non-empty unobserved list is failure-grade: it
+    /// means the baseline itself would rest on uncalibrated priors.
+    #[allow(clippy::type_complexity)]
     fn cross_validate_candidate(
         &self,
         candidate: &Workflow,
         run: &ExecResult,
-    ) -> std::result::Result<(Vec<RowCountMismatch>, Vec<RowCountMismatch>), String> {
-        let calibrated = transfer_calibration(&self.base.stats, candidate, self.exec.catalog())
+    ) -> std::result::Result<(Vec<String>, Vec<RowCountMismatch>, Vec<RowCountMismatch>), String>
+    {
+        let transfer = transfer_calibration(&self.base.stats, candidate, self.exec.catalog())
             .map_err(|e| e.to_string())?;
+        let calibrated = transfer.workflow;
         let model = RowCountModel::default();
         let skip = estimate_only_tokens(candidate).map_err(|e| e.to_string())?;
 
@@ -342,7 +361,7 @@ impl Oracle {
             self.activity_tol,
             |key| skip.contains(key),
         );
-        Ok((target_drift, activity_drift))
+        Ok((transfer.unobserved, target_drift, activity_drift))
     }
 }
 
@@ -439,19 +458,38 @@ fn stat_leaves(id: &ActivityId, observed: &ExecStats, out: &mut Vec<ActivityId>)
     }
 }
 
+/// The result of transferring observed statistics onto a candidate
+/// topology: the re-estimated workflow, plus every adjustable activity the
+/// observations could not reach.
+#[derive(Debug, Clone)]
+pub struct CalibrationTransfer {
+    /// The candidate with observed source cardinalities and selectivities.
+    pub workflow: Workflow,
+    /// Adjustable activities with **no** observed statistic — neither the
+    /// activity itself nor any originating base activity appears in the
+    /// run's `rows_processed`. These keep their a-priori selectivity, so
+    /// predictions through them are estimates, not transfers; callers must
+    /// decide whether that is acceptable rather than have it papered over.
+    pub unobserved: Vec<String>,
+}
+
 /// Re-estimate a candidate topology from the original run's observations:
 /// every source recordset gets its actual catalog cardinality, every
 /// cardinality-changing unary activity gets the selectivity observed for
-/// its originating activities on the original run. The result is the
-/// state the cost model *should* price exactly on a union-only workflow —
-/// the cross-validation baseline.
+/// its originating activities on the original run. The workflow in the
+/// result is the state the cost model *should* price exactly on a
+/// union-only workflow — the cross-validation baseline. Activities no
+/// observation resolves for are reported in
+/// [`CalibrationTransfer::unobserved`] instead of being silently left at
+/// their (unvalidated) priors.
 pub fn transfer_calibration(
     observed: &ExecStats,
     candidate: &Workflow,
     catalog: &Catalog,
-) -> etlopt_core::error::Result<Workflow> {
+) -> etlopt_core::error::Result<CalibrationTransfer> {
     let g = candidate.graph();
     let mut out = candidate.clone();
+    let mut unobserved = Vec::new();
 
     for src in candidate.sources() {
         let name = g.recordset(src)?.name.clone();
@@ -477,6 +515,10 @@ pub fn transfer_calibration(
         }
         let mut leaves = Vec::new();
         stat_leaves(&act.id, observed, &mut leaves);
+        if leaves.is_empty() {
+            unobserved.push(act.id.to_string());
+            continue;
+        }
         let (mut inp, mut outp) = (0u64, 0u64);
         for leaf in &leaves {
             let key = leaf.to_string();
@@ -488,7 +530,10 @@ pub fn transfer_calibration(
             out = out.with_selectivity(node, s)?;
         }
     }
-    Ok(out)
+    Ok(CalibrationTransfer {
+        workflow: out,
+        unobserved,
+    })
 }
 
 #[cfg(test)]
@@ -550,6 +595,42 @@ mod tests {
                 .any(|f| matches!(f, Failure::Multiset { .. })),
             "expected a multiset failure, got {:?}",
             v.failures
+        );
+    }
+
+    #[test]
+    fn transfer_reports_unobserved_activities() {
+        // Doctor the stats so one filter was never observed — e.g. because
+        // the plan that produced them had pruned it. The transfer must name
+        // the miss instead of silently pricing it as a pass-through.
+        use etlopt_core::prelude::*;
+
+        let mut b = WorkflowBuilder::new();
+        let src = b.source("S", Schema::of(["id", "v"]), 10.0);
+        let f1 = b.unary("sa", UnaryOp::filter(Predicate::gt("v", 1)), src);
+        let f2 = b.unary("sb", UnaryOp::filter(Predicate::gt("id", 1)), f1);
+        b.target("T", Schema::of(["id", "v"]), f2);
+        let wf = b.build().unwrap();
+
+        let g = wf.graph();
+        let mut ids: Vec<String> = wf
+            .activities()
+            .unwrap()
+            .into_iter()
+            .map(|n| g.activity(n).unwrap().id.to_string())
+            .collect();
+        ids.sort();
+        let (observed_id, pruned_id) = (ids[0].clone(), ids[1].clone());
+
+        let mut stats = ExecStats::default();
+        stats.rows_processed.insert(observed_id, 10);
+        stats.rows_out.insert(ids[0].clone(), 6);
+
+        let transfer = transfer_calibration(&stats, &wf, &Catalog::new()).unwrap();
+        assert_eq!(
+            transfer.unobserved,
+            vec![pruned_id],
+            "the unobserved filter must be reported, not defaulted to selectivity 1"
         );
     }
 

@@ -60,6 +60,10 @@ pub enum CoreError {
         /// States explored before giving up.
         visited: usize,
     },
+    /// A plan observation failed while the adaptive re-optimization loop
+    /// was executing a chosen plan for feedback (the engine-side error,
+    /// carried as text so the core crate stays engine-agnostic).
+    Observation(String),
     /// A conformance fault-injection site does not describe a valid
     /// (function, filter) pair on the workflow it was applied to — the
     /// nodes have the wrong operator kinds, or the site went stale after a
@@ -111,6 +115,9 @@ impl fmt::Display for CoreError {
             CoreError::Schema(msg) => write!(f, "schema error: {msg}"),
             CoreError::BudgetExhausted { visited } => {
                 write!(f, "search budget exhausted after visiting {visited} states")
+            }
+            CoreError::Observation(msg) => {
+                write!(f, "plan observation failed: {msg}")
             }
             CoreError::InvalidFaultSite { node, detail } => {
                 write!(f, "invalid fault-injection site at node {node}: {detail}")

@@ -281,6 +281,56 @@ pub fn search_report(outcome: &SearchOutcome) -> String {
     out
 }
 
+/// Render the adaptive loop's round trajectory — the feedback companion
+/// of [`search_report`]: one line per calibrate → re-optimize round, with
+/// the chosen plan's calibrated cost, its predicted-vs-observed target
+/// error, and the calibration coverage that round searched under.
+pub fn adaptive_report(report: &crate::opt::AdaptiveReport) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = writeln!(
+        out,
+        "adaptive re-optimization — {}, {} round(s), {}",
+        report.algorithm,
+        report.rounds_used(),
+        if report.converged {
+            "converged"
+        } else {
+            "round budget exhausted"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>14} {:>10} {:>10} {:>9}  plan",
+        "round", "calibrated", "err(mean)", "err(max)", "seeded"
+    );
+    for r in &report.rounds {
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>14.1} {:>10.4} {:>10.4} {:>6}/{:<2}  {}{}",
+            r.round,
+            r.calibrated_cost,
+            r.mean_rel_error,
+            r.max_rel_error,
+            r.seeded,
+            r.seeded + r.misses,
+            r.signature,
+            if r.kept_incumbent {
+                "  [incumbent kept]"
+            } else {
+                ""
+            }
+        );
+    }
+    let total = report.stats_total();
+    let _ = writeln!(
+        out,
+        "  searches   : {} states generated across rounds \
+         ({} delta-repriced, {} full-priced)",
+        total.generated, total.repriced_delta, total.repriced_full
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

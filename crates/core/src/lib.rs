@@ -85,7 +85,8 @@ pub mod prelude {
     pub use crate::graph::NodeId;
     pub use crate::naming::NamingRegistry;
     pub use crate::opt::{
-        ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer, SearchBudget, SearchOutcome,
+        run_adaptive, AdaptiveConfig, AdaptiveReport, ExhaustiveSearch, HeuristicSearch, HsGreedy,
+        Optimizer, SearchBudget, SearchOutcome,
     };
     pub use crate::predicate::Predicate;
     pub use crate::recordset::Recordset;

@@ -7,12 +7,17 @@
 //! maintained **semi-incrementally** (§4.1) — only the path from the
 //! activities a transition touched towards the targets is re-priced.
 
+pub mod adaptive;
 mod eval;
 mod exhaustive;
 mod heuristic;
 mod memo;
 mod parallel;
 
+pub use adaptive::{
+    run_adaptive, run_adaptive_traced, AdaptiveConfig, AdaptiveReport, Calibration,
+    MemoryCalibration, Observation, PlanObserver, RoundReport,
+};
 pub(crate) use eval::{state_total, EvalState};
 pub use exhaustive::ExhaustiveSearch;
 pub use heuristic::{shift_bkw, shift_frw, HeuristicSearch, HsGreedy};

@@ -5,7 +5,10 @@
 use std::collections::BTreeMap;
 
 use etlopt_core::activity::Op;
+use etlopt_core::error::CoreError;
 use etlopt_core::graph::{Node, NodeId};
+use etlopt_core::opt::{Observation, PlanObserver};
+use etlopt_core::trace::ExecCounters;
 use etlopt_core::workflow::Workflow;
 
 use crate::catalog::Catalog;
@@ -160,6 +163,43 @@ impl Executor {
         crate::exec::run_stream(self.exec_ctx(), wf, self.stream_cfg, Some(cache))
     }
 
+    /// Stats-harvest hook for the adaptive re-optimization loop: execute
+    /// with the configured backend and package the run as a
+    /// [`Observation`] — per-activity row traffic, actual source
+    /// cardinalities from the catalog, and per-target row counts. Errors
+    /// are carried as [`CoreError::Observation`] so the loop (which lives
+    /// in the engine-agnostic core crate) can consume them.
+    pub fn observe(&self, wf: &Workflow) -> etlopt_core::error::Result<Observation> {
+        let result = self
+            .run(wf)
+            .map_err(|e| CoreError::Observation(e.to_string()))?;
+        self.observation_of(wf, &result)
+    }
+
+    /// Build an [`Observation`] from an already-executed result.
+    fn observation_of(
+        &self,
+        wf: &Workflow,
+        result: &ExecResult,
+    ) -> etlopt_core::error::Result<Observation> {
+        let mut obs = Observation {
+            rows_processed: result.stats.rows_processed.clone(),
+            rows_out: result.stats.rows_out.clone(),
+            ..Observation::default()
+        };
+        let g = wf.graph();
+        for src in wf.sources() {
+            let name = &g.recordset(src)?.name;
+            if let Some(table) = self.catalog.table(name) {
+                obs.source_rows.insert(name.clone(), table.len() as u64);
+            }
+        }
+        for (name, table) in &result.targets {
+            obs.target_rows.insert(name.clone(), table.len() as u64);
+        }
+        Ok(obs)
+    }
+
     /// Execute a workflow state node-at-a-time, materializing every
     /// intermediate table.
     pub fn run_materialize(&self, wf: &Workflow) -> Result<ExecResult> {
@@ -222,6 +262,80 @@ impl Executor {
             }
         }
         Ok(ExecResult { targets, stats })
+    }
+}
+
+impl PlanObserver for Executor {
+    fn observe(&mut self, wf: &Workflow) -> etlopt_core::error::Result<Observation> {
+        Executor::observe(self, wf)
+    }
+}
+
+/// The adaptive loop's engine-side observer: executes every plan through
+/// the streaming backend against one [`SharedCache`], so re-optimization
+/// rounds that re-run a plan — or a sibling sharing a materialization
+/// prefix with one — reuse the cached subflow results instead of
+/// recomputing them. Accumulates the runtime's pool/batch counters across
+/// rounds.
+///
+/// Cached prefixes are absent from the re-run's statistics by design;
+/// their entries were recorded (identically) by the run that populated
+/// the cache, so the calibration store never loses information.
+#[derive(Debug)]
+pub struct Harvester {
+    exec: Executor,
+    cache: SharedCache,
+    counters: ExecCounters,
+    runs: u64,
+}
+
+impl Harvester {
+    /// A harvester over `exec` with a fresh, default-budget cache.
+    pub fn new(exec: Executor) -> Harvester {
+        Harvester::with_cache(exec, SharedCache::new())
+    }
+
+    /// A harvester reusing an existing cache (it must have been populated
+    /// against this executor's catalog).
+    pub fn with_cache(exec: Executor, cache: SharedCache) -> Harvester {
+        Harvester {
+            exec,
+            cache,
+            counters: ExecCounters::default(),
+            runs: 0,
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Pool/batch/cache counters accumulated over every observed run.
+    pub fn counters(&self) -> &ExecCounters {
+        &self.counters
+    }
+
+    /// Number of plans observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The shared result cache (for cache-hit assertions).
+    pub fn cache(&self) -> &SharedCache {
+        &self.cache
+    }
+}
+
+impl PlanObserver for Harvester {
+    fn observe(&mut self, wf: &Workflow) -> etlopt_core::error::Result<Observation> {
+        let run = self
+            .exec
+            .run_stream_cached(wf, &mut self.cache)
+            .map_err(|e| CoreError::Observation(e.to_string()))?;
+        self.counters.absorb(&run.counters);
+        self.runs += 1;
+        self.exec.observation_of(wf, &run.result)
     }
 }
 
@@ -353,6 +467,45 @@ mod tests {
         let result = Executor::new(cat).run(&wf).unwrap();
         assert_eq!(result.target("RAW").unwrap().len(), 4);
         assert_eq!(result.target("CLEAN").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn observe_packages_stats_sources_and_targets() {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 4.0);
+        let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+        b.target("T", Schema::of(["k", "v"]), nn);
+        let wf = b.build().unwrap();
+        let mut cat = Catalog::new();
+        cat.insert("S", source_table());
+        let obs = Executor::new(cat).observe(&wf).unwrap();
+        assert_eq!(obs.source_rows["S"], 4);
+        assert_eq!(obs.target_rows["T"], 3);
+        assert_eq!(obs.rows_processed["2"], 4);
+        assert_eq!(obs.rows_out["2"], 3);
+    }
+
+    #[test]
+    fn harvester_reruns_hit_the_cache_and_match_first_run() {
+        // Fan-out creates a materialization boundary the cache admits; the
+        // second observation of the same plan must return identical
+        // source/target numbers while serving the prefix from cache.
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 4.0);
+        let nn = b.unary("NN", UnaryOp::not_null("v"), s);
+        b.target("T1", Schema::of(["k", "v"]), nn);
+        b.target("T2", Schema::of(["k", "v"]), nn);
+        let wf = b.build().unwrap();
+        let mut cat = Catalog::new();
+        cat.insert("S", source_table());
+        let mut h = Harvester::new(Executor::new(cat));
+        let first = PlanObserver::observe(&mut h, &wf).unwrap();
+        let again = PlanObserver::observe(&mut h, &wf).unwrap();
+        assert_eq!(h.runs(), 2);
+        assert_eq!(first.target_rows, again.target_rows);
+        assert_eq!(first.source_rows, again.source_rows);
+        let (hits, _misses, _evicted) = h.cache().counters();
+        assert!(hits > 0, "second run must reuse the cached boundary");
     }
 
     #[test]

@@ -6,15 +6,356 @@
 //! (§4.2); this is the statistics-refresh loop a production deployment
 //! would run between loads.
 
+use std::collections::BTreeMap;
+use std::path::Path;
+
 use etlopt_core::activity::Op;
+use etlopt_core::opt::adaptive::{CalEntry, Calibration};
 use etlopt_core::semantics::UnaryOp;
 use etlopt_core::workflow::Workflow;
 use etlopt_engine::{Executor, Result};
 
 /// Floor for calibrated selectivities: an activity that passed zero rows on
 /// this sample still gets a tiny positive estimate (zero would make every
-/// downstream plan collapse to cost 0).
-pub const MIN_SELECTIVITY: f64 = 1e-4;
+/// downstream plan collapse to cost 0). Shared with the adaptive loop's
+/// clamp so one-shot and feedback-loop calibration agree.
+pub const MIN_SELECTIVITY: f64 = etlopt_core::opt::adaptive::SELECTIVITY_FLOOR;
+
+/// The persistent calibration layer of the adaptive re-optimization loop:
+/// observed per-activity row traffic keyed by u128 activity-identity
+/// fingerprints (`etlopt_core::opt::adaptive::activity_key`), plus
+/// observed source cardinalities. Implements [`Calibration`] for the loop
+/// and adds what a between-loads deployment needs on top: lossless JSON
+/// round-tripping (hand-rolled — the workspace is offline/zero-dep) and a
+/// commutative, idempotent [`CalibrationStore::merge`] so stores built by
+/// independent runs can be combined in any order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalibrationStore {
+    /// key → (activity id string, observed tallies), key-ordered.
+    entries: BTreeMap<u128, (String, CalEntry)>,
+    /// source recordset name → observed cardinality.
+    sources: BTreeMap<String, u64>,
+}
+
+impl CalibrationStore {
+    /// An empty store.
+    pub fn new() -> CalibrationStore {
+        CalibrationStore::default()
+    }
+
+    /// Number of calibrated activities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.sources.is_empty()
+    }
+
+    /// Entries in key order: `(key, activity id string, entry)`.
+    pub fn entries(&self) -> impl Iterator<Item = (u128, &str, CalEntry)> {
+        self.entries.iter().map(|(k, (a, e))| (*k, a.as_str(), *e))
+    }
+
+    /// Observed source cardinalities, name-ordered.
+    pub fn sources(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.sources.iter().map(|(n, r)| (n.as_str(), *r))
+    }
+
+    /// Merge another store into this one. Per activity the max-evidence
+    /// entry wins ([`CalEntry::prefer`]), per source the larger observed
+    /// cardinality — so `merge` is commutative (the same store results
+    /// whichever operand starts) and idempotent (`a.merge(&a)` is a
+    /// no-op). The law the round-trip suite pins down.
+    pub fn merge(&mut self, other: &CalibrationStore) {
+        for (key, (activity, entry)) in &other.entries {
+            self.record(*key, activity, *entry);
+        }
+        for (name, &rows) in &other.sources {
+            self.record_source(name, rows);
+        }
+    }
+
+    /// Serialize to JSON. Deterministic: entries in key order, sources in
+    /// name order, tallies as raw integers (no floats to round-trip).
+    pub fn to_json(&self) -> String {
+        let sources: Vec<String> = self
+            .sources
+            .iter()
+            .map(|(n, r)| format!("    \"{}\": {}", json_escape(n), r))
+            .collect();
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(k, (a, e))| {
+                format!(
+                    concat!(
+                        "    {{\"key\": \"{:032x}\", \"activity\": \"{}\", ",
+                        "\"rows_in\": {}, \"rows_out\": {}}}"
+                    ),
+                    k,
+                    json_escape(a),
+                    e.rows_in,
+                    e.rows_out
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"version\": 1,\n",
+                "  \"sources\": {{\n{}\n  }},\n",
+                "  \"entries\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            sources.join(",\n"),
+            entries.join(",\n"),
+        )
+    }
+
+    /// Parse a store back from [`CalibrationStore::to_json`] output (or
+    /// any JSON of the same shape). Returns a one-line description of the
+    /// first syntax or schema problem.
+    pub fn from_json(text: &str) -> std::result::Result<CalibrationStore, String> {
+        let mut p = JsonParser::new(text);
+        let mut store = CalibrationStore::new();
+        p.expect('{')?;
+        loop {
+            let field = p.string()?;
+            p.expect(':')?;
+            match field.as_str() {
+                "version" => {
+                    let v = p.integer()?;
+                    if v != 1 {
+                        return Err(format!("unsupported calibration store version {v}"));
+                    }
+                }
+                "sources" => {
+                    p.expect('{')?;
+                    if !p.peek_is('}') {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(':')?;
+                            let rows = p.integer()?;
+                            store.record_source(&name, rows);
+                            if !p.comma_or('}')? {
+                                break;
+                            }
+                        }
+                    } else {
+                        p.expect('}')?;
+                    }
+                }
+                "entries" => {
+                    p.expect('[')?;
+                    if !p.peek_is(']') {
+                        loop {
+                            let (key, activity, entry) = parse_entry(&mut p)?;
+                            store.record(key, &activity, entry);
+                            if !p.comma_or(']')? {
+                                break;
+                            }
+                        }
+                    } else {
+                        p.expect(']')?;
+                    }
+                }
+                other => return Err(format!("unknown calibration store field `{other}`")),
+            }
+            if !p.comma_or('}')? {
+                break;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Write the store to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::result::Result<(), String> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Load a store from a file written by [`CalibrationStore::save`].
+    pub fn load(path: impl AsRef<Path>) -> std::result::Result<CalibrationStore, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        CalibrationStore::from_json(&text)
+    }
+}
+
+impl Calibration for CalibrationStore {
+    fn entry(&self, key: u128) -> Option<CalEntry> {
+        self.entries.get(&key).map(|(_, e)| *e)
+    }
+
+    fn record(&mut self, key: u128, activity: &str, entry: CalEntry) {
+        self.entries
+            .entry(key)
+            .and_modify(|(_, e)| *e = e.prefer(entry))
+            .or_insert_with(|| (activity.to_owned(), entry));
+    }
+
+    fn source_rows(&self, name: &str) -> Option<u64> {
+        self.sources.get(name).copied()
+    }
+
+    fn record_source(&mut self, name: &str, rows: u64) {
+        let slot = self.sources.entry(name.to_owned()).or_insert(rows);
+        *slot = (*slot).max(rows);
+    }
+}
+
+fn parse_entry(p: &mut JsonParser<'_>) -> std::result::Result<(u128, String, CalEntry), String> {
+    p.expect('{')?;
+    let (mut key, mut activity) = (None, None);
+    let mut entry = CalEntry::default();
+    loop {
+        let field = p.string()?;
+        p.expect(':')?;
+        match field.as_str() {
+            "key" => {
+                let hex = p.string()?;
+                key = Some(
+                    u128::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad calibration key `{hex}`"))?,
+                );
+            }
+            "activity" => activity = Some(p.string()?),
+            "rows_in" => entry.rows_in = p.integer()?,
+            "rows_out" => entry.rows_out = p.integer()?,
+            other => return Err(format!("unknown entry field `{other}`")),
+        }
+        if !p.comma_or('}')? {
+            break;
+        }
+    }
+    match (key, activity) {
+        (Some(k), Some(a)) => Ok((k, a, entry)),
+        _ => Err("calibration entry missing `key` or `activity`".to_owned()),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal recursive-descent scanner for exactly the JSON shape the store
+/// emits (strings, unsigned integers, `{}`/`[]` punctuation). Hand-rolled
+/// because the workspace has no serde — and must build offline.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&(c as u8))
+    }
+
+    fn expect(&mut self, c: char) -> std::result::Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == c as u8 => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(&b) => Err(format!(
+                "expected `{c}` at byte {}, found `{}`",
+                self.pos, b as char
+            )),
+            None => Err(format!("expected `{c}`, found end of input")),
+        }
+    }
+
+    /// After a value: consume `,` (more items follow → `true`) or the
+    /// closing delimiter (→ `false`).
+    fn comma_or(&mut self, close: char) -> std::result::Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close as u8 => {
+                self.pos += 1;
+                Ok(false)
+            }
+            other => Err(format!(
+                "expected `,` or `{close}` at byte {}, found {:?}",
+                self.pos,
+                other.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|&b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn integer(&mut self) -> std::result::Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected an integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad integer at byte {start}"))
+    }
+}
 
 /// Execute `wf` on the executor's catalog and return a copy whose
 /// cardinality-changing unary activities carry their *observed*

@@ -18,5 +18,5 @@ pub mod datagen;
 pub mod generator;
 pub mod scenarios;
 
-pub use calibrate::calibrate;
+pub use calibrate::{calibrate, CalibrationStore};
 pub use generator::{Generator, GeneratorConfig, Scenario, SizeCategory};

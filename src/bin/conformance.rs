@@ -3,11 +3,14 @@
 //! ```text
 //! conformance sweep  [--base-seed N] [--small N] [--medium N] [--large N]
 //!                    [--rows N] [--states N] [--parallelism N] [--chain-len N]
+//!                    [--adaptive] [--adaptive-rounds N]
 //!                    [--out FILE] [--bench FILE] [--trace-json FILE]
 //! conformance backends [--rows N] [--frame-budget N] [--batch-rows N]
 //!                      [--threads N] [--trace-json FILE]
 //! conformance replay --seed N --category small|medium|large --steps S
 //!                    [--rows N]
+//! conformance adaptive [--smoke] [--rounds N] [--rows N] [--seed N]
+//!                      [--states N] [--out FILE] [--store FILE]
 //! ```
 //!
 //! `sweep` generates the seeded scenario corpus, judges every search
@@ -31,6 +34,16 @@
 //! `replay` re-executes one chain — typically a minimizer-printed repro —
 //! and reports the oracle's verdict. Exit code 1 if the oracle fails the
 //! replayed state.
+//!
+//! `adaptive` demonstrates the calibrate → re-optimize → converge loop.
+//! The default mode runs the paper's Fig. 1 workflow with *deliberately
+//! skewed* seed selectivities against seeded data, prints the per-round
+//! trajectory, and oracle-checks the converged plan; `--smoke` instead
+//! sweeps the ten pinned smoke seeds' small scenarios. `--out` (default
+//! `ADAPTIVE.json`) receives the `AdaptiveReport` JSON (or the smoke
+//! summary); `--store FILE` loads the calibration store from FILE when it
+//! exists and saves the harvested store back. Exit code 1 on
+//! non-convergence or any oracle failure.
 
 use std::process::ExitCode;
 
@@ -38,9 +51,11 @@ use etlopt::conformance::{
     backend_differential, format_steps, minimize_failure, mutation_smoke, parse_steps, replay,
     run_corpus, scenario_executor, CorpusConfig, Oracle, SMOKE_SEEDS,
 };
+use etlopt::core::cost::RowCountModel;
+use etlopt::core::opt::{run_adaptive, AdaptiveConfig, HeuristicSearch, SearchBudget};
 use etlopt::core::trace::ExecCounters;
-use etlopt::engine::StreamConfig;
-use etlopt::workload::{datagen, Generator, GeneratorConfig, SizeCategory};
+use etlopt::engine::{Executor, Harvester, StreamConfig};
+use etlopt::workload::{datagen, CalibrationStore, Generator, GeneratorConfig, SizeCategory};
 
 fn parse_category(s: &str) -> Result<SizeCategory, String> {
     match s {
@@ -72,6 +87,16 @@ impl Flags {
         }
     }
 
+    fn take_flag(&mut self, name: &str) -> bool {
+        match self.0.iter().position(|a| a == name) {
+            Some(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn ensure_empty(&self) -> Result<(), String> {
         if self.0.is_empty() {
             Ok(())
@@ -83,6 +108,7 @@ impl Flags {
 
 fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
     let defaults = CorpusConfig::default();
+    let adaptive_default = if flags.take_flag("--adaptive") { 4 } else { 0 };
     let cfg = CorpusConfig {
         base_seed: flags.take_parsed("--base-seed", defaults.base_seed)?,
         small: flags.take_parsed("--small", defaults.small)?,
@@ -92,6 +118,7 @@ fn sweep(mut flags: Flags) -> Result<ExitCode, String> {
         search_states: flags.take_parsed("--states", defaults.search_states)?,
         parallelism: flags.take_parsed("--parallelism", defaults.parallelism)?,
         chain_len: flags.take_parsed("--chain-len", defaults.chain_len)?,
+        adaptive_rounds: flags.take_parsed("--adaptive-rounds", adaptive_default)?,
     };
     let out_path = flags
         .take("--out")
@@ -315,6 +342,180 @@ fn replay_cmd(mut flags: Flags) -> Result<ExitCode, String> {
     }
 }
 
+/// Shared guts of both adaptive modes: run the loop on one workflow over
+/// its executors, judge the converged plan, print the trajectory. Returns
+/// `(report, oracle failure lines)`.
+fn run_adaptive_scenario(
+    wf: &etlopt::core::workflow::Workflow,
+    oracle_exec: Executor,
+    loop_exec: Executor,
+    store: &mut CalibrationStore,
+    rounds: usize,
+    states: usize,
+) -> Result<(etlopt::core::opt::AdaptiveReport, Vec<String>), String> {
+    let oracle = Oracle::new(wf, oracle_exec).map_err(|e| format!("original failed: {e}"))?;
+    let mut harvester = Harvester::new(loop_exec);
+    let model = RowCountModel::default();
+    let optimizer = HeuristicSearch::with_budget(SearchBudget::states(states));
+    let report = run_adaptive(
+        wf,
+        &model,
+        &optimizer,
+        &mut harvester,
+        store,
+        AdaptiveConfig::rounds(rounds),
+    )
+    .map_err(|e| format!("adaptive loop failed: {e}"))?;
+    let failures = match report.final_plan() {
+        Some(plan) => oracle.check(plan).failure_lines(),
+        None => vec!["adaptive loop produced no plan".to_owned()],
+    };
+    Ok((report, failures))
+}
+
+/// The Fig. 1 demo: skew the paper workflow's seed selectivities hard
+/// (NN 0.95→0.2, γ-SUM 1/30→0.9, σ(€) 0.4→0.95) and let the loop walk
+/// them back to the observed truth.
+fn adaptive_fig1(
+    seed: u64,
+    rounds: usize,
+    states: usize,
+    store: &mut CalibrationStore,
+) -> Result<(String, bool), String> {
+    let base = etlopt::workload::scenarios::fig1();
+    let g = base.graph();
+    let mut wf = base.clone();
+    for node in base.activities().map_err(|e| e.to_string())? {
+        let act = g.activity(node).map_err(|e| e.to_string())?;
+        let skew = match act.label.as_str() {
+            "NN" => Some(0.2),
+            "γ-SUM" => Some(0.9),
+            "σ(€)" => Some(0.95),
+            _ => None,
+        };
+        if let Some(s) = skew {
+            wf = wf.with_selectivity(node, s).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let catalog = || etlopt::workload::scenarios::fig1_catalog(seed, 300, 9000);
+    let (report, failures) = run_adaptive_scenario(
+        &wf,
+        Executor::new(catalog()),
+        Executor::new(catalog()),
+        store,
+        rounds,
+        states,
+    )?;
+    print!("{}", etlopt::core::explain::adaptive_report(&report));
+    let mut failed = false;
+    if !report.converged {
+        failed = true;
+        eprintln!("FAIL: loop did not converge within {rounds} rounds");
+    }
+    for line in &failures {
+        failed = true;
+        eprintln!("FAIL: {line}");
+    }
+    Ok((report.to_json(), failed))
+}
+
+fn adaptive_cmd(mut flags: Flags) -> Result<ExitCode, String> {
+    let smoke = flags.take_flag("--smoke");
+    let rounds: usize = flags.take_parsed("--rounds", 4)?;
+    let rows: usize = flags.take_parsed("--rows", 64)?;
+    let seed: u64 = flags.take_parsed("--seed", 7)?;
+    let states: usize = flags.take_parsed("--states", 600)?;
+    let out_path = flags
+        .take("--out")
+        .unwrap_or_else(|| "ADAPTIVE.json".to_owned());
+    let store_path = flags.take("--store");
+    flags.ensure_empty()?;
+    if smoke && store_path.is_some() {
+        return Err("--store applies to the Fig. 1 demo, not --smoke".to_owned());
+    }
+
+    let (json, failed) = if smoke {
+        eprintln!(
+            "adaptive smoke over {} pinned seeds, {rounds}-round budget…",
+            SMOKE_SEEDS.len()
+        );
+        let mut entries = Vec::new();
+        let mut failed = false;
+        for &s in &SMOKE_SEEDS {
+            let scenario = Generator::generate(GeneratorConfig {
+                seed: s,
+                category: SizeCategory::Small,
+            });
+            let mut store = CalibrationStore::new();
+            let (report, failures) = run_adaptive_scenario(
+                &scenario.workflow,
+                scenario_executor(&scenario.workflow, rows, s),
+                scenario_executor(&scenario.workflow, rows, s),
+                &mut store,
+                rounds,
+                states,
+            )?;
+            let ok = report.converged && failures.is_empty();
+            eprintln!(
+                "  seed {s}: {} in {} round(s){}",
+                if ok { "ok" } else { "FAIL" },
+                report.rounds_used(),
+                if failures.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {}", failures.join("; "))
+                },
+            );
+            failed |= !ok;
+            entries.push(format!(
+                concat!(
+                    "    {{\"seed\": {}, \"converged\": {}, \"rounds\": {}, ",
+                    "\"oracle_failures\": {}}}"
+                ),
+                s,
+                report.converged,
+                report.rounds_used(),
+                failures.len(),
+            ));
+        }
+        (
+            format!(
+                "{{\n  \"round_budget\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+                rounds,
+                entries.join(",\n")
+            ),
+            failed,
+        )
+    } else {
+        eprintln!("adaptive Fig. 1 demo: skewed seed selectivities, {rounds}-round budget…");
+        // Warm-start from a persisted store when one was given and exists;
+        // harvested evidence is saved back below, so repeated runs
+        // accumulate (merge is idempotent — re-observing is a no-op).
+        let mut store = match &store_path {
+            Some(p) if std::path::Path::new(p).exists() => CalibrationStore::load(p)?,
+            _ => CalibrationStore::new(),
+        };
+        let result = adaptive_fig1(seed, rounds, states, &mut store)?;
+        if let Some(p) = &store_path {
+            store.save(p)?;
+            eprintln!(
+                "calibration store ({} activities) saved to {p}",
+                store.len()
+            );
+        }
+        result
+    };
+
+    std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("adaptive report written to {out_path}");
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = if args.is_empty() {
@@ -326,8 +527,9 @@ fn main() -> ExitCode {
         "sweep" => sweep(Flags(args)),
         "backends" => backends_cmd(Flags(args)),
         "replay" => replay_cmd(Flags(args)),
+        "adaptive" => adaptive_cmd(Flags(args)),
         other => Err(format!(
-            "unknown command `{other}` (expected `sweep`, `backends`, or `replay`)"
+            "unknown command `{other}` (expected `sweep`, `backends`, `replay`, or `adaptive`)"
         )),
     };
     match result {
