@@ -206,6 +206,30 @@ pub fn backend_differential(
                 cfg.parallelism, seq.result.stats, stream.result.stats,
             ));
         }
+        // Both parallel coordinators — pipelined (the default) and
+        // round-synchronous — must agree with each other too, so a
+        // divergence names the backend that introduced it.
+        let other = scenario_executor(wf, rows_per_source, seed)
+            .with_stream_config(StreamConfig {
+                pipeline: !cfg.pipeline,
+                ..cfg
+            })
+            .run_stream(wf)
+            .map_err(|e| format!("alternate parallel backend failed: {e}"))?;
+        if other.result.targets != stream.result.targets {
+            return Err(format!(
+                "targets diverge between the pipelined and round-synchronous \
+                 coordinators at {} workers",
+                cfg.parallelism,
+            ));
+        }
+        if other.result.stats != stream.result.stats {
+            return Err(format!(
+                "ExecStats diverge between the pipelined and round-synchronous \
+                 coordinators at {} workers: {:?} vs {:?}",
+                cfg.parallelism, other.result.stats, stream.result.stats,
+            ));
+        }
     }
     Ok(stream.counters)
 }

@@ -39,6 +39,7 @@ fn smoke_corpus_agrees_under_tiny_frame_budget() {
         batch_rows: 8,
         frame_budget: 2,
         parallelism: 1,
+        ..StreamConfig::default()
     });
     // A 2-frame pool over 96-row sources in 8-row pages cannot hold any
     // materialization boundary: the spill path must actually run.
@@ -54,6 +55,7 @@ fn smoke_corpus_agrees_under_partition_parallelism() {
         batch_rows: 8,
         frame_budget: 4,
         parallelism: 4,
+        ..StreamConfig::default()
     });
     assert_eq!(counters.worker_rows.len(), 4, "{counters:?}");
     assert!(counters.worker_rows.iter().sum::<u64>() > 0, "{counters:?}");

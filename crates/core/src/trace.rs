@@ -442,6 +442,30 @@ pub struct ExecCounters {
     /// routing hash is fixed-key, so the split is deterministic for a
     /// given thread count.
     pub worker_rows: Vec<u64>,
+    /// Pages written while staging inter-segment partition sets through
+    /// the buffer pool (a subset of `pages_appended`). Zero for
+    /// sequential runs and for the legacy round-synchronous coordinator,
+    /// which holds partition sets in memory instead.
+    pub pages_staged: u64,
+    /// Pipelined segment tasks executed by the partition-parallel
+    /// branch scheduler.
+    pub pipeline_segments: u64,
+    /// High-water mark of batches resident in any one segment channel.
+    /// Runtime telemetry: bounded by the configured channel capacity but
+    /// dependent on scheduling, unlike the deterministic row counters.
+    pub channel_high_water: u64,
+    /// High-water mark of concurrently in-flight scheduler tasks —
+    /// evidence that independent DAG branches actually overlapped.
+    pub peak_inflight_tasks: u64,
+    /// Batches each worker index processed through its segment links,
+    /// absorbed element-wise in worker-index order.
+    pub worker_busy: Vec<u64>,
+    /// Times the segment feeder blocked sending to each worker's bounded
+    /// channel (backpressure from a slow worker). Runtime telemetry.
+    pub worker_send_blocked: Vec<u64>,
+    /// Times each worker blocked waiting for its channel to fill
+    /// (starvation behind the feeder). Runtime telemetry.
+    pub worker_recv_blocked: Vec<u64>,
 }
 
 impl ExecCounters {
@@ -462,16 +486,29 @@ impl ExecCounters {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_insertions += other.cache_insertions;
-        if self.worker_rows.len() < other.worker_rows.len() {
-            self.worker_rows.resize(other.worker_rows.len(), 0);
+        self.pages_staged += other.pages_staged;
+        self.pipeline_segments += other.pipeline_segments;
+        self.channel_high_water = self.channel_high_water.max(other.channel_high_water);
+        self.peak_inflight_tasks = self.peak_inflight_tasks.max(other.peak_inflight_tasks);
+        fn absorb_lanes(mine: &mut Vec<u64>, theirs: &[u64]) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
         }
-        for (mine, theirs) in self.worker_rows.iter_mut().zip(&other.worker_rows) {
-            *mine += theirs;
-        }
+        absorb_lanes(&mut self.worker_rows, &other.worker_rows);
+        absorb_lanes(&mut self.worker_busy, &other.worker_busy);
+        absorb_lanes(&mut self.worker_send_blocked, &other.worker_send_blocked);
+        absorb_lanes(&mut self.worker_recv_blocked, &other.worker_recv_blocked);
     }
 
     /// Machine-readable rendering, same idiom as [`SearchStats::to_json`].
     pub fn to_json(&self) -> String {
+        fn lanes(v: &[u64]) -> String {
+            v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+        }
         format!(
             concat!(
                 "{{\n",
@@ -480,6 +517,10 @@ impl ExecCounters {
                 "\"pages_reloaded\": {}, \"evictions\": {}, ",
                 "\"peak_resident_frames\": {}}},\n",
                 "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}}},\n",
+                "  \"pipeline\": {{\"segments\": {}, \"pages_staged\": {}, ",
+                "\"channel_high_water\": {}, \"peak_inflight_tasks\": {}, ",
+                "\"worker_busy\": [{}], \"worker_send_blocked\": [{}], ",
+                "\"worker_recv_blocked\": [{}]}},\n",
                 "  \"worker_rows\": [{}]\n",
                 "}}"
             ),
@@ -492,11 +533,14 @@ impl ExecCounters {
             self.cache_hits,
             self.cache_misses,
             self.cache_insertions,
-            self.worker_rows
-                .iter()
-                .map(u64::to_string)
-                .collect::<Vec<_>>()
-                .join(", "),
+            self.pipeline_segments,
+            self.pages_staged,
+            self.channel_high_water,
+            self.peak_inflight_tasks,
+            lanes(&self.worker_busy),
+            lanes(&self.worker_send_blocked),
+            lanes(&self.worker_recv_blocked),
+            lanes(&self.worker_rows),
         )
     }
 }
@@ -799,12 +843,23 @@ mod tests {
             cache_misses: 2,
             cache_insertions: 2,
             worker_rows: vec![3, 4],
+            pages_staged: 2,
+            pipeline_segments: 3,
+            channel_high_water: 2,
+            peak_inflight_tasks: 1,
+            worker_busy: vec![7, 9],
+            worker_send_blocked: vec![0, 1],
+            worker_recv_blocked: vec![2, 0],
         };
         assert!(a.spilled());
         let b = ExecCounters {
             batches: 5,
             peak_resident_frames: 16,
             worker_rows: vec![1, 1, 1],
+            pages_staged: 1,
+            channel_high_water: 4,
+            peak_inflight_tasks: 3,
+            worker_busy: vec![1],
             ..ExecCounters::default()
         };
         assert!(!b.spilled());
@@ -815,11 +870,20 @@ mod tests {
         assert_eq!(a.peak_resident_frames, 16);
         // Worker splits absorb element-wise in worker-index order.
         assert_eq!(a.worker_rows, vec![4, 5, 1]);
+        // Pipeline telemetry: flows sum, high-water marks take the max.
+        assert_eq!(a.pages_staged, 3);
+        assert_eq!(a.pipeline_segments, 3);
+        assert_eq!(a.channel_high_water, 4);
+        assert_eq!(a.peak_inflight_tasks, 3);
+        assert_eq!(a.worker_busy, vec![8, 9]);
         let json = a.to_json();
         assert!(json.contains("\"pages_spilled\": 2"), "{json}");
         assert!(json.contains("\"peak_resident_frames\": 16"), "{json}");
         assert!(json.contains("\"hits\": 1"), "{json}");
         assert!(json.contains("\"worker_rows\": [4, 5, 1]"), "{json}");
+        assert!(json.contains("\"pages_staged\": 3"), "{json}");
+        assert!(json.contains("\"channel_high_water\": 4"), "{json}");
+        assert!(json.contains("\"worker_busy\": [8, 9]"), "{json}");
     }
 
     #[test]

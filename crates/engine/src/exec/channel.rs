@@ -1,0 +1,229 @@
+//! Bounded single-producer/single-consumer batch channels for the
+//! pipelined partition executor.
+//!
+//! The std library's `mpsc` channel is either unbounded or rendezvous-y
+//! (`sync_channel`) and exposes no occupancy telemetry, so the pipeline
+//! uses this small purpose-built channel instead:
+//!
+//! * **Bounded**: `send` blocks once `capacity` batches are queued —
+//!   this is the backpressure that keeps a fast feeder from buffering an
+//!   entire partition in memory (`StreamConfig::channel_batches`).
+//! * **Telemetry**: the channel counts its queue high-water mark and how
+//!   many times each side blocked, feeding the pipeline-depth counters
+//!   in [`ExecCounters`](etlopt_core::trace::ExecCounters).
+//! * **Unwind-safe close**: dropping the [`Sender`] closes the channel
+//!   (the receiver drains what is queued, then sees end-of-stream);
+//!   dropping the [`Receiver`] — including during a worker panic —
+//!   marks the channel dead and wakes any blocked sender, so a panicking
+//!   worker can never deadlock the feeder on a full channel.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Occupancy/blocking counters accumulated by one channel.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ChannelStats {
+    /// Maximum number of batches ever queued at once.
+    pub high_water: u64,
+    /// Times the sender blocked on a full queue.
+    pub send_blocked: u64,
+    /// Times the receiver blocked on an empty queue.
+    pub recv_blocked: u64,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Sender dropped: drain, then end-of-stream.
+    closed: bool,
+    /// Receiver dropped: sends fail immediately instead of blocking.
+    dead: bool,
+    stats: ChannelStats,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Recover the guard even if the peer panicked while holding the lock —
+/// the queue is never left torn (push/pop are single operations).
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Producer half: blocks on a full queue, fails once the receiver is gone.
+#[derive(Debug)]
+pub(crate) struct Sender<T> {
+    ch: Arc<Shared<T>>,
+}
+
+/// Consumer half: blocks on an empty queue until the sender closes.
+#[derive(Debug)]
+pub(crate) struct Receiver<T> {
+    ch: Arc<Shared<T>>,
+}
+
+/// A bounded SPSC channel holding at most `capacity` batches (clamped ≥ 1).
+pub(crate) fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let ch = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            closed: false,
+            dead: false,
+            stats: ChannelStats::default(),
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        Sender {
+            ch: Arc::clone(&ch),
+        },
+        Receiver { ch },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Queue one batch, blocking while the channel is full. Returns
+    /// `Err(())` (dropping the batch) if the receiver has gone away.
+    pub(crate) fn send(&self, value: T) -> Result<(), ()> {
+        let mut st = relock(self.ch.state.lock());
+        while st.queue.len() >= self.ch.capacity && !st.dead {
+            st.stats.send_blocked += 1;
+            st = relock(self.ch.not_full.wait(st));
+        }
+        if st.dead {
+            return Err(());
+        }
+        st.queue.push_back(value);
+        let depth = st.queue.len() as u64;
+        st.stats.high_water = st.stats.high_water.max(depth);
+        drop(st);
+        self.ch.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = relock(self.ch.state.lock());
+        st.closed = true;
+        drop(st);
+        self.ch.not_empty.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Take the next batch, blocking while the channel is empty. Returns
+    /// `None` once the sender has dropped and the queue is drained.
+    pub(crate) fn recv(&self) -> Option<T> {
+        let mut st = relock(self.ch.state.lock());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.ch.not_full.notify_one();
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            st.stats.recv_blocked += 1;
+            st = relock(self.ch.not_empty.wait(st));
+        }
+    }
+
+    /// Snapshot of the channel's occupancy counters. Read this after
+    /// `recv` returns `None`: at that point the sender is done, so the
+    /// numbers cover the channel's whole life.
+    pub(crate) fn stats(&self) -> ChannelStats {
+        relock(self.ch.state.lock()).stats
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = relock(self.ch.state.lock());
+        st.dead = true;
+        st.queue.clear();
+        drop(st);
+        // A sender blocked on a full queue must observe `dead` and bail —
+        // this is what keeps a panicking worker from wedging the feeder.
+        self.ch.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn delivers_in_order_and_closes_on_sender_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn backpressure_blocks_and_counts() {
+        let (tx, rx) = bounded::<u32>(1);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..8 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut n = 0;
+            while rx.recv().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 8);
+            let st = rx.stats();
+            assert!(st.high_water >= 1);
+            assert!(st.high_water <= 1, "capacity 1 never queues deeper");
+        });
+    }
+
+    #[test]
+    fn receiver_drop_unblocks_sender() {
+        let (tx, rx) = bounded::<u32>(1);
+        let h = thread::spawn(move || {
+            tx.send(0).unwrap();
+            // Second send blocks on the full queue until rx drops.
+            tx.send(1)
+        });
+        // Give the sender a chance to block, then kill the receiver.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(h.join().unwrap(), Err(()));
+    }
+
+    #[test]
+    fn recv_after_close_drains_then_ends() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+}

@@ -24,7 +24,9 @@
 //! runs.
 
 mod cache;
+pub(crate) mod channel;
 pub(crate) mod partition;
+pub(crate) mod roundsync;
 pub(crate) mod stream;
 
 pub use cache::SharedCache;
@@ -70,6 +72,18 @@ pub struct StreamConfig {
     /// (`partition`), with targets, row order, and [`ExecStats`] kept
     /// bit-identical to the sequential run.
     pub parallelism: usize,
+    /// Capacity (in batches) of each bounded channel between a segment
+    /// feeder and a partition worker in the pipelined executor — the
+    /// backpressure knob. Clamped to ≥ 1. Targets, row order, and
+    /// [`ExecStats`] are identical at every capacity; only scheduling
+    /// telemetry (channel high-water, blocked tallies) varies.
+    pub channel_batches: usize,
+    /// Select the pipelined partition executor (`true`, default) or the
+    /// legacy round-synchronous coordinator (`false`) above
+    /// `parallelism = 1`. Both are bit-identical to the sequential
+    /// stream; the round-sync path exists as a benchmarking baseline and
+    /// a differential reference.
+    pub pipeline: bool,
 }
 
 impl Default for StreamConfig {
@@ -78,6 +92,8 @@ impl Default for StreamConfig {
             batch_rows: 1024,
             frame_budget: 256,
             parallelism: 1,
+            channel_batches: 4,
+            pipeline: true,
         }
     }
 }
@@ -224,7 +240,11 @@ pub(crate) fn run_stream(
     mut cache: Option<&mut SharedCache>,
 ) -> Result<StreamRun> {
     if cfg.parallelism > 1 {
-        return partition::run_parallel(ctx, wf, cfg, cache);
+        return if cfg.pipeline {
+            partition::run_parallel(ctx, wf, cfg, cache)
+        } else {
+            roundsync::run_round_sync(ctx, wf, cfg, cache)
+        };
     }
     let graph = wf.graph();
     let order = graph.topo_order()?;
@@ -454,6 +474,7 @@ mod tests {
             batch_rows: 64,
             frame_budget: 2,
             parallelism: 1,
+            ..StreamConfig::default()
         });
         let run = assert_backends_agree(&exec, &wf);
         assert!(run.counters.spilled(), "{:?}", run.counters);
@@ -476,6 +497,7 @@ mod tests {
             batch_rows: 32,
             frame_budget: 4,
             parallelism: 1,
+            ..StreamConfig::default()
         });
         assert_backends_agree(&exec, &wf);
     }

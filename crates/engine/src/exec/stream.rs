@@ -14,6 +14,12 @@
 //! scans, buffer re-reads, cached-table scans, and aggregate output
 //! emissions. Transformed batches flowing through row-wise operators are
 //! not re-counted.
+//!
+//! This module is the 1-worker pull pipeline; at
+//! `StreamConfig::parallelism > 1` execution moves to the partitioned
+//! coordinators instead — push-based pipelined segments in
+//! [`super::partition`] (default) or the round-synchronous plan in
+//! [`super::roundsync`] — both bit-identical to this backend.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;

@@ -125,6 +125,23 @@ impl Executor {
         self
     }
 
+    /// Set the pipelined backend's bounded channel capacity, in batches
+    /// (≥ 1). Purely a residency/backpressure knob: results are
+    /// bit-identical at any capacity.
+    pub fn with_channel_batches(mut self, batches: usize) -> Self {
+        self.stream_cfg.channel_batches = batches.max(1);
+        self
+    }
+
+    /// Choose the parallel coordinator: pipelined persistent workers
+    /// (`true`, the default) or the round-synchronous coordinator
+    /// (`false`). Both produce bit-identical results; the knob exists
+    /// for benchmarking one against the other.
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.stream_cfg.pipeline = pipeline;
+        self
+    }
+
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

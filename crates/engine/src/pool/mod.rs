@@ -218,11 +218,13 @@ impl BufferPool {
         total
     }
 
-    /// Append one batch as a new page. Empty batches are dropped (they
-    /// carry no rows and would only dilute the clock).
-    pub fn append(&self, buf: BufferId, rows: Vec<Row>) -> Result<()> {
+    /// Append one batch as a new page, returning the number of pages
+    /// written (so callers accounting staged-page traffic need no second
+    /// lookup). Empty batches are dropped (they carry no rows and would
+    /// only dilute the clock) and write zero pages.
+    pub fn append(&self, buf: BufferId, rows: Vec<Row>) -> Result<usize> {
         if rows.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
         let width = self.schema(buf).len();
         if let Some(bad) = rows.iter().find(|r| r.len() != width) {
@@ -248,7 +250,7 @@ impl BufferPool {
         s.resident += 1;
         s.counters.pages_appended += 1;
         s.counters.peak_resident_frames = s.counters.peak_resident_frames.max(s.resident as u64);
-        Ok(())
+        Ok(1)
     }
 
     /// Fetch one page, faulting it back from the heap file if it was
