@@ -2,7 +2,7 @@
 //!
 //! For every seeded scenario, the sweep (1) builds the oracle from the
 //! original workflow over seeded data, (2) runs each search algorithm
-//! (ES, HS, HS-Greedy) and judges its best state, (3) replays a seeded
+//! (ES, HS, HS-Greedy, Beam) and judges its best state, (3) replays a seeded
 //! random transition chain and judges its end state. Failing chains are
 //! shrunk by [`crate::minimize`] into replayable repros. The outcome is a
 //! [`CorpusReport`] the driver serializes to `CONFORMANCE.json`.
@@ -11,8 +11,8 @@ use std::time::Instant;
 
 use etlopt_core::cost::RowCountModel;
 use etlopt_core::opt::{
-    run_adaptive, AdaptiveConfig, ExhaustiveSearch, HeuristicSearch, HsGreedy, Optimizer,
-    SearchBudget,
+    run_adaptive, AdaptiveConfig, BeamSearch, ExhaustiveSearch, HeuristicSearch, HsGreedy,
+    Optimizer, SearchBudget,
 };
 use etlopt_core::trace::SearchStats;
 use etlopt_engine::Harvester;
@@ -23,7 +23,7 @@ use crate::minimize::minimize_failure;
 use crate::oracle::{scenario_executor, Oracle};
 
 /// Sweep parameters. The defaults are the CI profile: 200 scenarios
-/// (120 small / 60 medium / 20 large), three search algorithms plus one
+/// (120 small / 60 medium / 20 large), four search algorithms plus one
 /// random chain each.
 #[derive(Debug, Clone)]
 pub struct CorpusConfig {
@@ -138,8 +138,8 @@ pub struct CorpusReport {
     pub adaptive_passed: usize,
     /// Wall-clock seconds of the whole sweep.
     pub elapsed_secs: f64,
-    /// Search telemetry aggregated per algorithm (ES, HS, HS-Greedy) across
-    /// every scenario, via [`SearchStats::absorb`].
+    /// Search telemetry aggregated per algorithm (ES, HS, HS-Greedy, Beam)
+    /// across every scenario, via [`SearchStats::absorb`].
     pub search_stats: Vec<SearchStats>,
 }
 
@@ -256,8 +256,8 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Run one scenario through all its checks. Each search run's telemetry is
-/// absorbed into `agg` (indexed in ES, HS, HS-Greedy order).
-fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig, agg: &mut [SearchStats; 3]) -> ScenarioOutcome {
+/// absorbed into `agg` (indexed in ES, HS, HS-Greedy, Beam order).
+fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig, agg: &mut [SearchStats; 4]) -> ScenarioOutcome {
     let exec = scenario_executor(&s.workflow, cfg.rows_per_source, s.seed);
     let oracle = match Oracle::new(&s.workflow, exec) {
         Ok(o) => o,
@@ -279,10 +279,11 @@ fn sweep_scenario(s: &Scenario, cfg: &CorpusConfig, agg: &mut [SearchStats; 3]) 
 
     let model = RowCountModel::default();
     let budget = SearchBudget::states(cfg.search_states).with_parallelism(cfg.parallelism);
-    let algos: [(&str, Box<dyn Optimizer>); 3] = [
+    let algos: [(&str, Box<dyn Optimizer>); 4] = [
         ("ES", Box::new(ExhaustiveSearch::with_budget(budget))),
         ("HS", Box::new(HeuristicSearch::with_budget(budget))),
         ("HS-Greedy", Box::new(HsGreedy::with_budget(budget))),
+        ("Beam", Box::new(BeamSearch::with_budget(budget))),
     ];
 
     let mut checks = Vec::new();
@@ -459,6 +460,7 @@ pub fn run_corpus(
         SearchStats::new("ES"),
         SearchStats::new("HS"),
         SearchStats::new("HS-Greedy"),
+        SearchStats::new("Beam"),
     ];
 
     let (mut adaptive_checks, mut adaptive_passed) = (0usize, 0usize);
@@ -533,7 +535,7 @@ mod tests {
         };
         let report = run_corpus(&cfg, |_, _, _| {});
         assert_eq!(report.scenarios.len(), 4);
-        assert_eq!(report.checks, 16, "4 scenarios x (3 algos + 1 chain)");
+        assert_eq!(report.checks, 20, "4 scenarios x (4 algos + 1 chain)");
         assert!(
             report.failed.is_empty(),
             "conformance failures: {:#?}",
@@ -542,16 +544,16 @@ mod tests {
         assert!((report.pass_rate() - 1.0).abs() < 1e-9);
         let json = report.to_json();
         assert!(json.contains("\"pass_rate\": 1.0000"));
-        assert!(json.contains("\"checks\": 16"));
-        // The aggregated telemetry covers all three algorithms and its
+        assert!(json.contains("\"checks\": 20"));
+        // The aggregated telemetry covers all four algorithms and its
         // summed accounting still reconciles.
-        assert_eq!(report.search_stats.len(), 3);
+        assert_eq!(report.search_stats.len(), 4);
         for s in &report.search_stats {
             assert!(s.generated > 0, "{} absorbed no runs", s.algorithm);
             assert!(s.reconciles(), "{}: {}", s.algorithm, s.counters_json());
         }
         let trace = report.trace_json();
-        for algo in ["\"ES\"", "\"HS\"", "\"HS-Greedy\""] {
+        for algo in ["\"ES\"", "\"HS\"", "\"HS-Greedy\"", "\"Beam\""] {
             assert!(trace.contains(algo), "{trace}");
         }
     }
@@ -572,8 +574,8 @@ mod tests {
         };
         let report = run_corpus(&cfg, |_, _, _| {});
         assert_eq!(
-            report.checks, 10,
-            "2 scenarios x (3 algos + chain + adaptive)"
+            report.checks, 12,
+            "2 scenarios x (4 algos + chain + adaptive)"
         );
         assert_eq!(report.adaptive_checks, 2);
         assert!(

@@ -183,7 +183,7 @@ pub fn explain_text(original: &Workflow, optimized: &Workflow) -> Result<String>
 /// Render a human-readable account of how a search *behaved* — the
 /// companion of [`explain_text`], which says what the search *found*. Pulls
 /// everything from [`SearchOutcome::stats`] (plus the phase snapshots), so
-/// it works identically for ES, HS and HS-Greedy.
+/// it works identically for ES, HS, HS-Greedy and Beam.
 pub fn search_report(outcome: &SearchOutcome) -> String {
     let s = &outcome.stats;
     let mut out = String::with_capacity(512);
@@ -208,6 +208,20 @@ pub fn search_report(outcome: &SearchOutcome) -> String {
         s.repriced_full,
         100.0 * s.delta_fraction()
     );
+    if s.beam_width > 0 {
+        let _ = writeln!(
+            out,
+            "  beam       : width {}, {} states truncated from frontiers",
+            s.beam_width, s.truncated_states
+        );
+    }
+    if s.visited_shards > 0 {
+        let _ = writeln!(
+            out,
+            "  visited set: {} shards, occupancy {}–{}",
+            s.visited_shards, s.visited_shard_min, s.visited_shard_max
+        );
+    }
     let (hits, misses) = (s.memo_hits, s.memo_misses);
     if hits + misses > 0 {
         let _ = writeln!(
@@ -445,7 +459,8 @@ mod tests {
         assert!(report.contains("generated ="), "{report}");
         assert!(report.contains("I swaps"), "{report}");
         assert!(!report.contains("ACCOUNTING MISMATCH"), "{report}");
-        // ES renders the same sections through its single phase span.
+        // ES renders the same sections through its single phase span, plus
+        // the sharded visited-set occupancy line.
         let es = crate::opt::ExhaustiveSearch::new()
             .run(&wf, &model)
             .unwrap();
@@ -453,5 +468,25 @@ mod tests {
         assert!(es_report.contains("search report — ES"), "{es_report}");
         assert!(es_report.contains("move memo"), "{es_report}");
         assert!(es_report.contains("frontiers"), "{es_report}");
+        assert!(es_report.contains("visited set: 16 shards"), "{es_report}");
+        assert!(!es_report.contains("beam"), "{es_report}");
+        // Beam adds its width/truncation line on top.
+        let beam = crate::opt::BeamSearch::new()
+            .with_width(2)
+            .run(&wf, &model)
+            .unwrap();
+        let beam_report = search_report(&beam);
+        assert!(
+            beam_report.contains("search report — Beam"),
+            "{beam_report}"
+        );
+        assert!(
+            beam_report.contains("beam       : width 2"),
+            "{beam_report}"
+        );
+        assert!(
+            beam_report.contains("visited set: 16 shards"),
+            "{beam_report}"
+        );
     }
 }

@@ -14,9 +14,9 @@
 //! [`transition::Factorize`], [`transition::Distribute`],
 //! [`transition::Merge`], [`transition::Split`] — fabricates the space. A
 //! [`cost::CostModel`] ranks states and the [`opt`] module provides the
-//! paper's three search algorithms: exhaustive ([`opt::ExhaustiveSearch`]),
-//! heuristic ([`opt::HeuristicSearch`], Fig. 7 of the paper) and greedy
-//! ([`opt::HsGreedy`]).
+//! paper's search algorithms: exhaustive ([`opt::ExhaustiveSearch`]),
+//! heuristic ([`opt::HeuristicSearch`], Fig. 7 of the paper), greedy
+//! ([`opt::HsGreedy`]), and bounded-width beam ([`opt::BeamSearch`]).
 //!
 //! ## Quick tour
 //!
@@ -85,8 +85,8 @@ pub mod prelude {
     pub use crate::graph::NodeId;
     pub use crate::naming::NamingRegistry;
     pub use crate::opt::{
-        run_adaptive, AdaptiveConfig, AdaptiveReport, ExhaustiveSearch, HeuristicSearch, HsGreedy,
-        Optimizer, SearchBudget, SearchOutcome,
+        run_adaptive, AdaptiveConfig, AdaptiveReport, BeamSearch, ExhaustiveSearch,
+        HeuristicSearch, HsGreedy, Optimizer, SearchBudget, SearchOutcome,
     };
     pub use crate::predicate::Predicate;
     pub use crate::recordset::Recordset;

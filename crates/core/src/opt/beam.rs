@@ -1,0 +1,422 @@
+//! Bounded-width Beam search.
+//!
+//! The paper caps ES at 40 hours and reports best-so-far on medium and
+//! large workflows because the state space is exponential; the related
+//! task-re-ordering literature (Kougka & Gounaris, PAPERS.md) shows that
+//! bounded-width exploration recovers most of exhaustive quality at a
+//! fraction of the states. [`BeamSearch`] is ES's generation-synchronous
+//! BFS with one change: after each generation's merge, the frontier is
+//! truncated to the `width` cheapest states. With `width = ∞` it *is* ES;
+//! with `width = 1` it degenerates to steepest-descent hill climbing over
+//! fingerprint-distinct states. That puts it between HS and ES on the
+//! quality/time trade-off, with a knob instead of a fixed phase recipe.
+//!
+//! ## Determinism contract
+//!
+//! Truncation keeps the top `K` states under the same total order the
+//! searches already use for the incumbent: cost first
+//! ([`f64::total_cmp`]), state [`Signature`] as the tie-break. Distinct
+//! fingerprints have distinct signatures, so the order — and therefore the
+//! surviving frontier, the best state, and every deterministic counter —
+//! is byte-identical at any worker-thread count.
+//! `tests/search_determinism.rs` pins beam at parallelism 1/2/4, and the
+//! beam-width sweep test pins `best_cost(K = ∞) == best_cost(ES)` plus
+//! monotone non-increasing best cost in `K` on the smoke seeds.
+
+use std::cell::OnceCell;
+use std::time::Instant;
+
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::opt::{
+    expand_frontier, EvalState, MoveMemo, Optimizer, Pacer, SearchBudget, SearchOutcome,
+    ShardedVisited, Threads,
+};
+use crate::signature::Signature;
+use crate::trace::{Collector, Span, TraceEvent, TraceSink};
+use crate::workflow::Workflow;
+
+/// The beam-search algorithm: ES with a per-generation top-K frontier.
+#[derive(Debug, Clone)]
+pub struct BeamSearch {
+    /// Resource bounds, shared with the other algorithms.
+    pub budget: SearchBudget,
+    /// Frontier width `K`: after each generation, only the `K` cheapest
+    /// states (signature tie-break) survive. Clamped to ≥ 1 by the
+    /// constructors; `usize::MAX` makes the search exhaustive.
+    pub width: usize,
+}
+
+impl BeamSearch {
+    /// Default frontier width — wide enough to keep the small/medium
+    /// conformance scenarios exact, narrow enough to bound large ones.
+    pub const DEFAULT_WIDTH: usize = 64;
+
+    /// Beam with the default budget and width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Beam with a custom budget and the default width.
+    pub fn with_budget(budget: SearchBudget) -> Self {
+        BeamSearch {
+            budget,
+            width: Self::DEFAULT_WIDTH,
+        }
+    }
+
+    /// Set the frontier width (clamped to ≥ 1).
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Remove the width bound: the search becomes ES (useful for the
+    /// differential tests that pin beam against the exhaustive baseline).
+    pub fn unbounded(mut self) -> Self {
+        self.width = usize::MAX;
+        self
+    }
+
+    /// Truncate a merged frontier to the `width` cheapest states under the
+    /// deterministic (cost, signature) order; returns the survivors in
+    /// that order and the number of states dropped. Signatures are only
+    /// built for states that actually tie on cost, and at most once each.
+    fn truncate(&self, frontier: Vec<EvalState>) -> (Vec<EvalState>, u64) {
+        if frontier.len() <= self.width {
+            return (frontier, 0);
+        }
+        let sigs: Vec<OnceCell<Signature>> = frontier.iter().map(|_| OnceCell::new()).collect();
+        let mut order: Vec<usize> = (0..frontier.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            frontier[a]
+                .total
+                .total_cmp(&frontier[b].total)
+                .then_with(|| {
+                    let sa = sigs[a].get_or_init(|| frontier[a].wf.signature());
+                    let sb = sigs[b].get_or_init(|| frontier[b].wf.signature());
+                    sa.cmp(sb)
+                })
+        });
+        let dropped = (frontier.len() - self.width) as u64;
+        let mut slots: Vec<Option<EvalState>> = frontier.into_iter().map(Some).collect();
+        let kept = order
+            .iter()
+            .take(self.width)
+            .filter_map(|&i| slots[i].take())
+            .collect();
+        (kept, dropped)
+    }
+}
+
+impl Default for BeamSearch {
+    fn default() -> Self {
+        BeamSearch {
+            budget: SearchBudget::default(),
+            width: Self::DEFAULT_WIDTH,
+        }
+    }
+}
+
+impl Optimizer for BeamSearch {
+    fn name(&self) -> &str {
+        "Beam"
+    }
+
+    fn run_traced(
+        &self,
+        wf: &Workflow,
+        model: &dyn CostModel,
+        sink: &dyn TraceSink,
+    ) -> Result<SearchOutcome> {
+        let width = self.width.max(1);
+        let started = Instant::now();
+        let span = Span::start("search");
+        let mut col = Collector::new("Beam");
+        col.beam_width(u64::try_from(width).unwrap_or(u64::MAX));
+        let mut pacer = Pacer::new(started, &self.budget);
+        let threads = Threads::new(self.budget.threads());
+        let memo = MoveMemo::new();
+        let initial = EvalState::full(wf.clone(), model)?;
+        let initial_cost = initial.total;
+        col.evaluated(initial.via_delta());
+
+        let visited = ShardedVisited::new(self.budget.max_states);
+        visited.insert(initial.fp);
+
+        // Best state tracked by (cost, signature), exactly as ES does —
+        // the incumbent may well be a state a later truncation drops from
+        // the frontier, so it is cloned before the cut.
+        let mut best = wf.clone();
+        let mut best_cost = initial_cost;
+        let mut best_sig: Option<Signature> = None;
+
+        let mut frontier: Vec<EvalState> = vec![initial];
+        let mut budget_exhausted = false;
+        let mut generation = 0usize;
+        let mut truncated_total = 0u64;
+
+        while !frontier.is_empty() {
+            if visited.at_cap() || pacer.check_now() {
+                budget_exhausted = true;
+                break;
+            }
+            col.frontier(frontier.len());
+            sink.event(TraceEvent::Generation {
+                index: generation,
+                frontier: frontier.len(),
+                visited: visited.len(),
+            });
+            generation += 1;
+            for state in &frontier {
+                col.expanded(state.fp);
+            }
+
+            // Expansion: identical to ES — workers price successors
+            // incrementally and pre-filter duplicates against the
+            // quiescent sharded visited set.
+            let expanded = expand_frontier(&frontier, &threads, &memo, model, &visited);
+
+            // Merge: one coordinator, deterministic (frontier index, move
+            // index) order, same bookkeeping as ES. Once the budget stops
+            // the merge, remaining chunks are only counted.
+            let mut next_frontier: Vec<EvalState> = Vec::new();
+            let mut gen_best: Option<usize> = None;
+            let mut merging = true;
+            for chunk in expanded {
+                let chunk = match chunk {
+                    Ok(c) => c,
+                    Err(e) if merging => return Err(e),
+                    Err(_) => continue,
+                };
+                col.rejections(&chunk.rej);
+                for _ in 0..chunk.dedup_delta {
+                    col.evaluated(true);
+                    col.deduplicated();
+                }
+                for _ in 0..chunk.dedup_full {
+                    col.evaluated(false);
+                    col.deduplicated();
+                }
+                for next in chunk.fresh {
+                    col.evaluated(next.via_delta());
+                    if !merging {
+                        continue;
+                    }
+                    if pacer.tick() {
+                        budget_exhausted = true;
+                        merging = false;
+                        continue;
+                    }
+                    match visited.insert(next.fp) {
+                        crate::opt::Admit::Duplicate => {
+                            col.deduplicated();
+                            continue;
+                        }
+                        crate::opt::Admit::CapReached => {
+                            budget_exhausted = true;
+                            merging = false;
+                            continue;
+                        }
+                        crate::opt::Admit::Fresh => {}
+                    }
+                    let total = next.total;
+                    let strict = total < best_cost;
+                    let improves = strict || {
+                        total == best_cost && {
+                            let sig = next.wf.signature();
+                            let wins = {
+                                let cur = best_sig.get_or_insert_with(|| best.signature());
+                                sig < *cur
+                            };
+                            if wins {
+                                best_sig = Some(sig);
+                            }
+                            wins
+                        }
+                    };
+                    next_frontier.push(next);
+                    if improves {
+                        if strict {
+                            best_sig = None;
+                        }
+                        best_cost = total;
+                        gen_best = Some(next_frontier.len() - 1);
+                    }
+                }
+            }
+            if let Some(i) = gen_best {
+                best = next_frontier[i].wf.clone();
+            }
+            // The beam cut: keep the K cheapest survivors. Truncated
+            // states stay in the visited set (they were admitted and count
+            // toward the budget) but are never expanded, so they surface
+            // as `pruned` in the accounting and as `truncated_states` in
+            // the beam telemetry.
+            let (kept, dropped) = self.truncate(next_frontier);
+            truncated_total += dropped;
+            frontier = kept;
+            if budget_exhausted {
+                break;
+            }
+        }
+
+        col.truncated(truncated_total);
+        let (shard_min, shard_max) = visited.occupancy();
+        col.visited_shards(visited.shard_count() as u64, shard_min, shard_max);
+        let (hits, misses) = memo.stats();
+        col.memo(hits, misses);
+        col.worker_batches(threads.batch_counts());
+        col.span(span);
+        sink.event(TraceEvent::Finished {
+            algorithm: "Beam",
+            best_cost,
+            visited: visited.len(),
+            budget_exhausted,
+        });
+        Ok(SearchOutcome {
+            best,
+            best_cost,
+            initial_cost,
+            visited_states: visited.len(),
+            elapsed: started.elapsed(),
+            budget_exhausted,
+            phase_stats: Vec::new(),
+            stats: col.finish(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::RowCountModel;
+    use crate::opt::ExhaustiveSearch;
+    use crate::postcond::equivalent;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::semantics::{BinaryOp, UnaryOp};
+    use crate::workflow::WorkflowBuilder;
+
+    fn swap_win() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 1000.0);
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), s);
+        let f = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 10)).with_selectivity(0.1),
+            sk,
+        );
+        b.target("T", Schema::of(["sk", "v"]), f);
+        b.build().unwrap()
+    }
+
+    fn fac_dis() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let s1 = b.source("S1", Schema::of(["k", "v"]), 64.0);
+        let s2 = b.source("S2", Schema::of(["k", "v"]), 64.0);
+        let u = b.binary("U", BinaryOp::Union, s1, s2);
+        let sel = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 0)).with_selectivity(0.25),
+            u,
+        );
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), sel);
+        b.target("T", Schema::of(["sk", "v"]), sk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn beam_finds_the_swap_optimum() {
+        let wf = swap_win();
+        let model = RowCountModel::default();
+        let out = BeamSearch::new().run(&wf, &model).unwrap();
+        assert!(!out.budget_exhausted);
+        assert!(out.best_cost < out.initial_cost);
+        let first = out.best.activities().unwrap()[0];
+        assert_eq!(out.best.graph().activity(first).unwrap().label, "σ");
+        assert!(equivalent(&wf, &out.best).unwrap());
+        assert_eq!(out.stats.algorithm, "Beam");
+        assert_eq!(out.stats.beam_width, BeamSearch::DEFAULT_WIDTH as u64);
+        assert_eq!(
+            out.stats.visited_shards,
+            crate::opt::ShardedVisited::SHARDS as u64
+        );
+    }
+
+    #[test]
+    fn unbounded_beam_matches_es_exactly() {
+        let model = RowCountModel::default();
+        for wf in [swap_win(), fac_dis()] {
+            let es = ExhaustiveSearch::new().run(&wf, &model).unwrap();
+            let beam = BeamSearch::new().unbounded().run(&wf, &model).unwrap();
+            assert_eq!(es.best_cost.to_bits(), beam.best_cost.to_bits());
+            assert_eq!(es.best.signature(), beam.best.signature());
+            assert_eq!(es.visited_states, beam.visited_states);
+            assert_eq!(beam.stats.truncated_states, 0);
+        }
+    }
+
+    #[test]
+    fn width_one_still_improves_and_truncates() {
+        let wf = fac_dis();
+        let model = RowCountModel::default();
+        let out = BeamSearch::new().with_width(1).run(&wf, &model).unwrap();
+        assert!(out.best_cost <= out.initial_cost);
+        assert!(
+            out.stats.truncated_states > 0,
+            "a width-1 beam on a branching space must truncate\n{}",
+            out.stats.counters_json()
+        );
+        assert!(out.stats.reconciles(), "{}", out.stats.counters_json());
+        assert!(
+            out.stats.pruned >= out.stats.truncated_states,
+            "truncated states must be a subset of pruned\n{}",
+            out.stats.counters_json()
+        );
+        assert!(equivalent(&wf, &out.best).unwrap());
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        let wf = swap_win();
+        let model = RowCountModel::default();
+        let out = BeamSearch::new().with_width(0).run(&wf, &model).unwrap();
+        assert_eq!(out.stats.beam_width, 1);
+        assert!(out.best_cost <= out.initial_cost);
+    }
+
+    #[test]
+    fn beam_respects_budget() {
+        let wf = swap_win();
+        let model = RowCountModel::default();
+        let out = BeamSearch::with_budget(SearchBudget::states(1))
+            .run(&wf, &model)
+            .unwrap();
+        assert!(out.budget_exhausted);
+        assert!(out.visited_states <= 1);
+    }
+
+    #[test]
+    fn beam_parallel_matches_sequential() {
+        let model = RowCountModel::default();
+        for wf in [swap_win(), fac_dis()] {
+            let seq = BeamSearch::with_budget(SearchBudget::default().with_parallelism(1))
+                .with_width(4)
+                .run(&wf, &model)
+                .unwrap();
+            let par = BeamSearch::with_budget(SearchBudget::default().with_parallelism(4))
+                .with_width(4)
+                .run(&wf, &model)
+                .unwrap();
+            assert_eq!(seq.best_cost.to_bits(), par.best_cost.to_bits());
+            assert_eq!(seq.best.signature(), par.best.signature());
+            assert_eq!(seq.visited_states, par.visited_states);
+            assert_eq!(
+                seq.stats.counters_json(),
+                par.stats.counters_json(),
+                "beam counters must be thread-count invariant"
+            );
+        }
+    }
+}

@@ -182,10 +182,19 @@ impl<'m> Runner<'m> {
     /// created (delta repricing vs full pricing).
     fn record_eval(&mut self, fp: u128, via_delta: bool) {
         self.col.evaluated(via_delta);
-        if self.seen.insert(fp) {
-            self.visited_states += 1;
-        } else {
+        if self.seen.contains(&fp) {
             self.col.deduplicated();
+        } else if self.visited_states < self.budget.max_states {
+            self.seen.insert(fp);
+            self.visited_states += 1;
+            if self.visited_states >= self.budget.max_states {
+                self.budget_exhausted = true;
+            }
+        } else {
+            // At the cap: the state was priced (the batch was already in
+            // flight) but is not admitted, so `visited_states` can never
+            // overshoot `max_states` — it surfaces as `pruned` instead.
+            self.budget_exhausted = true;
         }
         if self.pacer.tick() {
             self.budget_exhausted = true;
@@ -588,6 +597,12 @@ impl<'m> Runner<'m> {
                 self.col.rejections(rej);
             }
             for (eval, _) in evals {
+                // Per-item stop: without it one speculative batch could
+                // admit states past `max_states` before the heap loop's
+                // boundary check ran again.
+                if self.out_of_budget() {
+                    break;
+                }
                 let Some(res) = eval else { continue };
                 let next = res?;
                 self.record_eval(next.fp, next.via_delta());
@@ -636,6 +651,10 @@ impl<'m> Runner<'m> {
             }
             let mut improved: Option<EvalState> = None;
             for (eval, _) in evals {
+                // Per-item stop, as in the best-first and greedy loops.
+                if self.out_of_budget() {
+                    break;
+                }
                 let Some(res) = eval else { continue };
                 let next = res?;
                 self.record_eval(next.fp, next.via_delta());

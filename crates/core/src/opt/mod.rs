@@ -1,28 +1,34 @@
 //! State-space search algorithms (§4): Exhaustive Search (ES), Heuristic
-//! Search (HS, Fig. 7) and its greedy variant (HS-Greedy).
+//! Search (HS, Fig. 7), its greedy variant (HS-Greedy), and bounded-width
+//! Beam search ([`BeamSearch`] — between HS and ES on the quality/time
+//! trade-off).
 //!
-//! All three share the same skeleton: states are [`Workflow`]s identified by
+//! All four share the same skeleton: states are [`Workflow`]s identified by
 //! their [`Signature`]; successor states are produced by the applicable
 //! [`Move`]s; a [`crate::cost::CostModel`] ranks them; the state cost is
 //! maintained **semi-incrementally** (§4.1) — only the path from the
 //! activities a transition touched towards the targets is re-priced.
 
 pub mod adaptive;
+mod beam;
 mod eval;
 mod exhaustive;
 mod heuristic;
 mod memo;
 mod parallel;
+pub mod visited;
 
 pub use adaptive::{
     run_adaptive, run_adaptive_traced, AdaptiveConfig, AdaptiveReport, Calibration,
     MemoryCalibration, Observation, PlanObserver, RoundReport,
 };
+pub use beam::BeamSearch;
 pub(crate) use eval::{state_total, EvalState};
 pub use exhaustive::ExhaustiveSearch;
 pub use heuristic::{shift_bkw, shift_frw, HeuristicSearch, HsGreedy};
 pub use memo::MoveMemo;
 pub(crate) use parallel::Threads;
+pub use visited::{Admit, ShardedVisited};
 
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
@@ -157,9 +163,12 @@ impl SearchBudget {
         }
     }
 
-    /// Set the worker-thread count (`1` forces the sequential path).
+    /// Set the worker-thread count. `1` forces the sequential path, and so
+    /// does `0` — it is clamped rather than treated as "auto", because
+    /// `NonZeroUsize::new(0)` is `None` and would silently re-enable the
+    /// all-machine-cores auto-detect arm callers asked to turn off.
     pub fn with_parallelism(mut self, n: usize) -> Self {
-        self.parallelism = NonZeroUsize::new(n);
+        self.parallelism = NonZeroUsize::new(n.max(1));
         self
     }
 
@@ -200,7 +209,10 @@ impl Pacer {
             started,
             max_time: budget.max_time,
             ticks: 0,
-            time_up: false,
+            // Sample the clock once up front: a zero (or already-spent)
+            // time budget must stop the run within its first few states,
+            // not a full stride of work past the deadline.
+            time_up: started.elapsed() >= budget.max_time,
         }
     }
 
@@ -223,6 +235,63 @@ impl Pacer {
         }
         self.time_up
     }
+}
+
+/// Per-frontier-state expansion result handed back by a generation-
+/// synchronous worker (ES/beam): the fresh successors, the rejection
+/// deltas, and counts of successors the worker itself pre-filtered as
+/// duplicates against the (quiescent) sharded visited set.
+#[derive(Debug)]
+pub(crate) struct ExpandChunk {
+    /// Successors not in the visited set when the worker probed it, in
+    /// move-enumeration order.
+    pub(crate) fresh: Vec<EvalState>,
+    /// Rejection-rule deltas for this state's transition attempts.
+    pub(crate) rej: crate::trace::Rejections,
+    /// Duplicates dropped worker-side after delta repricing.
+    pub(crate) dedup_delta: u64,
+    /// Duplicates dropped worker-side after full pricing.
+    pub(crate) dedup_full: u64,
+}
+
+/// Expand one BFS frontier across the worker pool. Workers enumerate moves
+/// through the shared [`MoveMemo`], price each successor incrementally, and
+/// drop successors already in `visited` without funneling them through the
+/// coordinator — the set is quiescent while workers run (only the
+/// coordinator inserts, between rounds), so the pre-filter's outcome is
+/// deterministic at any thread count. Results come back in (frontier index,
+/// move index) order.
+pub(crate) fn expand_frontier(
+    frontier: &[EvalState],
+    threads: &Threads,
+    memo: &MoveMemo,
+    model: &dyn CostModel,
+    visited: &ShardedVisited,
+) -> Vec<Result<ExpandChunk>> {
+    threads.map(frontier, |state| {
+        let mut chunk = ExpandChunk {
+            fresh: Vec::new(),
+            rej: crate::trace::Rejections::default(),
+            dedup_delta: 0,
+            dedup_full: 0,
+        };
+        for mv in memo.moves(&state.wf)? {
+            let Some(next) = state.step_move(&mv, model, &mut chunk.rej) else {
+                continue;
+            };
+            let next = next?;
+            if visited.contains(next.fp) {
+                if next.via_delta() {
+                    chunk.dedup_delta += 1;
+                } else {
+                    chunk.dedup_full += 1;
+                }
+            } else {
+                chunk.fresh.push(next);
+            }
+        }
+        Ok(chunk)
+    })
 }
 
 /// The result of a search run.
@@ -351,6 +420,85 @@ mod tests {
         let now = Instant::now();
         assert!(!b.exhausted(9, now));
         assert!(b.exhausted(10, now));
+    }
+
+    #[test]
+    fn zero_parallelism_clamps_to_sequential() {
+        // Regression: `NonZeroUsize::new(0)` is `None`, which used to fall
+        // through to the all-machine-cores auto-detect arm.
+        let b = SearchBudget::default().with_parallelism(0);
+        assert_eq!(b.parallelism, NonZeroUsize::new(1));
+        assert_eq!(b.threads(), 1);
+        assert_eq!(SearchBudget::default().with_parallelism(4).threads(), 4);
+    }
+
+    #[test]
+    fn pacer_observes_a_zero_time_budget_before_the_first_stride() {
+        // Regression: the pacer only sampled the clock every 1024 ticks,
+        // so a `Duration::ZERO` budget burned a full stride of states past
+        // its deadline.
+        let budget = SearchBudget {
+            max_time: Duration::ZERO,
+            ..SearchBudget::default()
+        };
+        let mut pacer = Pacer::new(Instant::now(), &budget);
+        assert!(pacer.tick(), "first tick must already see the deadline");
+
+        // A generous budget still starts un-expired.
+        let mut fresh = Pacer::new(Instant::now(), &SearchBudget::default());
+        assert!(!fresh.tick());
+    }
+
+    #[test]
+    fn all_algorithms_stop_promptly_on_a_zero_time_budget() {
+        let wf = sample();
+        let model = RowCountModel::default();
+        let budget = SearchBudget {
+            max_states: 100_000,
+            max_time: Duration::ZERO,
+            parallelism: NonZeroUsize::new(1),
+        };
+        let algos: [Box<dyn Optimizer>; 4] = [
+            Box::new(ExhaustiveSearch::with_budget(budget)),
+            Box::new(BeamSearch::with_budget(budget)),
+            Box::new(HeuristicSearch::with_budget(budget)),
+            Box::new(HsGreedy::with_budget(budget)),
+        ];
+        for algo in algos {
+            let out = algo.run(&wf, &model).unwrap();
+            assert!(out.budget_exhausted, "{} ignored the deadline", algo.name());
+            // Within a handful of states, not a 1024-tick stride of them.
+            assert!(
+                out.visited_states <= 8,
+                "{} visited {} states past a zero deadline",
+                algo.name(),
+                out.visited_states
+            );
+        }
+    }
+
+    #[test]
+    fn visited_states_never_overshoot_the_state_budget() {
+        let wf = sample();
+        let model = RowCountModel::default();
+        for max in [1usize, 2, 3, 7, 19] {
+            let budget = SearchBudget::states(max).with_parallelism(2);
+            let algos: [Box<dyn Optimizer>; 4] = [
+                Box::new(ExhaustiveSearch::with_budget(budget)),
+                Box::new(BeamSearch::with_budget(budget)),
+                Box::new(HeuristicSearch::with_budget(budget)),
+                Box::new(HsGreedy::with_budget(budget)),
+            ];
+            for algo in algos {
+                let out = algo.run(&wf, &model).unwrap();
+                assert!(
+                    out.visited_states <= max,
+                    "{} visited {} states under a max_states of {max}",
+                    algo.name(),
+                    out.visited_states
+                );
+            }
+        }
     }
 
     #[test]

@@ -195,6 +195,24 @@ pub struct SearchStats {
     /// speculative attempts (HS shift chains, stale greedy-sweep tails)
     /// because the workers evaluate them either way.
     pub rejections: Rejections,
+    /// Beam search only: the configured frontier width `K`. `0` for the
+    /// unbounded algorithms (ES, HS, HS-Greedy).
+    pub beam_width: u64,
+    /// Beam search only: states admitted to the visited set but dropped
+    /// from the frontier by the per-generation top-K truncation. Always a
+    /// subset of `pruned` — a truncated state was generated and never
+    /// expanded.
+    pub truncated_states: u64,
+    /// Shard count of the sharded visited set (ES/beam), or `0` when the
+    /// algorithm keeps a flat per-run set (HS/HS-Greedy). Fixed per
+    /// algorithm, never derived from the thread count — deterministic.
+    pub visited_shards: u64,
+    /// Smallest per-shard occupancy when the run ended. Deterministic: the
+    /// fingerprint → shard map depends only on the accepted state set.
+    pub visited_shard_min: u64,
+    /// Largest per-shard occupancy when the run ended (deterministic, as
+    /// `visited_shard_min`).
+    pub visited_shard_max: u64,
     /// Move-memo cache hits (runtime telemetry: racing workers may both
     /// miss the same key, so seq/par counts can differ).
     pub memo_hits: u64,
@@ -220,6 +238,11 @@ impl SearchStats {
             repriced_full: 0,
             frontier_sizes: Vec::new(),
             rejections: Rejections::default(),
+            beam_width: 0,
+            truncated_states: 0,
+            visited_shards: 0,
+            visited_shard_min: 0,
+            visited_shard_max: 0,
             memo_hits: 0,
             memo_misses: 0,
             phases: Vec::new(),
@@ -257,6 +280,19 @@ impl SearchStats {
         self.repriced_delta += other.repriced_delta;
         self.repriced_full += other.repriced_full;
         self.rejections.merge(&other.rejections);
+        // Truncations flow; width and shard occupancy are per-run shapes,
+        // absorbed as high/low-water marks across the sweep.
+        self.truncated_states += other.truncated_states;
+        self.beam_width = self.beam_width.max(other.beam_width);
+        if other.visited_shards > 0 {
+            self.visited_shard_min = if self.visited_shards == 0 {
+                other.visited_shard_min
+            } else {
+                self.visited_shard_min.min(other.visited_shard_min)
+            };
+            self.visited_shards = self.visited_shards.max(other.visited_shards);
+            self.visited_shard_max = self.visited_shard_max.max(other.visited_shard_max);
+        }
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
     }
@@ -275,6 +311,14 @@ impl SearchStats {
         out.push_str(&format!(
             "  \"evaluation\": {{\"delta\": {}, \"full\": {}}},\n",
             self.repriced_delta, self.repriced_full
+        ));
+        out.push_str(&format!(
+            "  \"beam\": {{\"width\": {}, \"truncated_states\": {}}},\n",
+            self.beam_width, self.truncated_states
+        ));
+        out.push_str(&format!(
+            "  \"visited_shards\": {{\"count\": {}, \"min\": {}, \"max\": {}}},\n",
+            self.visited_shards, self.visited_shard_min, self.visited_shard_max
         ));
         let rej: Vec<String> = self
             .rejections
@@ -379,6 +423,23 @@ impl Collector {
     pub(crate) fn memo(&mut self, hits: u64, misses: u64) {
         self.stats.memo_hits = hits;
         self.stats.memo_misses = misses;
+    }
+
+    /// Record the beam's configured frontier width.
+    pub(crate) fn beam_width(&mut self, width: u64) {
+        self.stats.beam_width = width;
+    }
+
+    /// Count `n` states dropped from a frontier by beam truncation.
+    pub(crate) fn truncated(&mut self, n: u64) {
+        self.stats.truncated_states += n;
+    }
+
+    /// Record the sharded visited set's shape at the end of the run.
+    pub(crate) fn visited_shards(&mut self, count: u64, min: u64, max: u64) {
+        self.stats.visited_shards = count;
+        self.stats.visited_shard_min = min;
+        self.stats.visited_shard_max = max;
     }
 
     /// Append a finished phase span.
@@ -813,6 +874,65 @@ mod tests {
         assert!(s.contains("budget exhausted"), "{s}");
         let _ = NoopSink; // the default sink is a unit type
         NoopSink.event(e);
+    }
+
+    #[test]
+    fn beam_and_shard_counters_render_deterministically() {
+        let mut c = Collector::new("Beam");
+        c.evaluated(true);
+        c.beam_width(8);
+        c.truncated(3);
+        c.truncated(2);
+        c.visited_shards(16, 1, 9);
+        let stats = c.finish();
+        let det = stats.counters_json();
+        assert!(
+            det.contains("\"beam\": {\"width\": 8, \"truncated_states\": 5}"),
+            "{det}"
+        );
+        assert!(
+            det.contains("\"visited_shards\": {\"count\": 16, \"min\": 1, \"max\": 9}"),
+            "{det}"
+        );
+        // Unbounded algorithms render the same schema with zeros.
+        let plain = SearchStats::new("HS");
+        assert!(
+            plain
+                .counters_json()
+                .contains("\"beam\": {\"width\": 0, \"truncated_states\": 0}"),
+            "{}",
+            plain.counters_json()
+        );
+    }
+
+    #[test]
+    fn absorb_takes_shard_marks_and_sums_truncations() {
+        let mut a = SearchStats::new("Beam");
+        a.beam_width = 8;
+        a.truncated_states = 4;
+        a.visited_shards = 16;
+        a.visited_shard_min = 2;
+        a.visited_shard_max = 7;
+        let mut b = SearchStats::new("Beam");
+        b.beam_width = 8;
+        b.truncated_states = 6;
+        b.visited_shards = 16;
+        b.visited_shard_min = 1;
+        b.visited_shard_max = 11;
+        a.absorb(&b);
+        assert_eq!(a.truncated_states, 10);
+        assert_eq!(a.beam_width, 8);
+        assert_eq!(a.visited_shards, 16);
+        assert_eq!(a.visited_shard_min, 1);
+        assert_eq!(a.visited_shard_max, 11);
+        // Absorbing a shardless run (HS) must not zero the marks…
+        a.absorb(&SearchStats::new("HS"));
+        assert_eq!(a.visited_shard_min, 1);
+        // …and a shardless aggregate takes the first shard shape whole.
+        let mut agg = SearchStats::new("Beam");
+        agg.absorb(&b);
+        assert_eq!(agg.visited_shard_min, 1);
+        assert_eq!(agg.visited_shard_max, 11);
     }
 
     #[test]

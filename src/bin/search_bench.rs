@@ -1,5 +1,5 @@
-//! Search-throughput baseline: states/sec for ES and HS, sequential vs
-//! parallel, on generated small/medium workloads, plus clone/transition
+//! Search-throughput baseline: states/sec for ES, HS and Beam, sequential
+//! vs parallel, on generated small/medium workloads, plus clone/transition
 //! micro-timings demonstrating that cloning a state costs O(topology) and a
 //! transition detaches only the touched nodes (structural sharing), and
 //! delta-vs-scratch micro-timings for the incremental state evaluation
@@ -10,9 +10,9 @@
 //! `cargo run --release --bin search_bench`.
 //!
 //! With `--smoke`, instead of regenerating the file it re-measures the
-//! small-scenario sequential ES throughput and exits non-zero if it has
-//! regressed more than 30% against the *committed* `BENCH_search.json` —
-//! the CI perf gate.
+//! small-scenario sequential ES and Beam throughput and exits non-zero if
+//! either has regressed more than 30% against the *committed*
+//! `BENCH_search.json` — the CI perf gate.
 //!
 //! With `--trace-json [FILE]` it instead captures one traced run per
 //! algorithm per size band — full [`SearchStats`] plus the event ring —
@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use etlopt::core::cost::CostModel;
 use etlopt::core::opt::{
-    enumerate_moves, ExhaustiveSearch, HeuristicSearch, Move, Optimizer, SearchBudget,
+    enumerate_moves, BeamSearch, ExhaustiveSearch, HeuristicSearch, Move, Optimizer, SearchBudget,
 };
 use etlopt::core::schema_gen::downstream_of;
 use etlopt::core::signature::{hash_state, rehash_along};
@@ -181,31 +181,41 @@ fn scrape(json: &str, section: &str, algo: &str, field: &str) -> Option<f64> {
     num.parse().ok()
 }
 
-/// CI perf gate: re-measure small-scenario sequential ES and fail on a >30%
-/// regression against the committed baseline.
+/// CI perf gate: re-measure small-scenario sequential ES and Beam and fail
+/// on a >30% regression against the committed baseline for either row.
 fn smoke() {
     let committed =
         std::fs::read_to_string("BENCH_search.json").expect("BENCH_search.json must be committed");
-    let baseline = scrape(&committed, "small", "es", "seq_states_per_sec")
-        .expect("baseline seq_states_per_sec in BENCH_search.json");
     let s = Generator::generate(GeneratorConfig {
         seed: 42,
         category: SizeCategory::Small,
     });
     let budget = SearchBudget::states(10_000).with_parallelism(1);
-    let (rate, _) = throughput(&ExhaustiveSearch::with_budget(budget), &s.workflow);
-    let floor = baseline * 0.70;
-    if rate < floor {
-        eprintln!(
-            "perf smoke FAILED: small ES seq {rate:.0} states/sec < 70% of \
-             committed baseline {baseline:.0} (floor {floor:.0})"
-        );
+    let es = ExhaustiveSearch::with_budget(budget);
+    let beam = BeamSearch::with_budget(budget);
+    let rows: [(&str, &dyn Optimizer); 2] = [("es", &es), ("beam", &beam)];
+    let mut failed = false;
+    for (algo, opt) in rows {
+        let baseline = scrape(&committed, "small", algo, "seq_states_per_sec")
+            .unwrap_or_else(|| panic!("baseline small/{algo} in BENCH_search.json"));
+        let (rate, _) = throughput(opt, &s.workflow);
+        let floor = baseline * 0.70;
+        if rate < floor {
+            eprintln!(
+                "perf smoke FAILED: small {algo} seq {rate:.0} states/sec < 70% of \
+                 committed baseline {baseline:.0} (floor {floor:.0})"
+            );
+            failed = true;
+        } else {
+            println!(
+                "perf smoke ok: small {algo} seq {rate:.0} states/sec vs committed \
+                 baseline {baseline:.0} (floor {floor:.0})"
+            );
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!(
-        "perf smoke ok: small ES seq {rate:.0} states/sec vs committed \
-         baseline {baseline:.0} (floor {floor:.0})"
-    );
 }
 
 /// Capture one traced run per algorithm per size band and write the
@@ -222,10 +232,11 @@ fn trace_json(path: &str) {
             SizeCategory::Large => "large",
         };
         let budget = SearchBudget::states(2_000);
-        let algos: [(&str, Box<dyn Optimizer>); 3] = [
+        let algos: [(&str, Box<dyn Optimizer>); 4] = [
             ("ES", Box::new(ExhaustiveSearch::with_budget(budget))),
             ("HS", Box::new(HeuristicSearch::with_budget(budget))),
             ("HS-Greedy", Box::new(HsGreedy::with_budget(budget))),
+            ("Beam", Box::new(BeamSearch::with_budget(budget))),
         ];
         let mut entries = Vec::new();
         for (name, algo) in &algos {
@@ -313,6 +324,19 @@ fn main() {
             .0
         });
 
+        let beam_budget = SearchBudget::states(10_000);
+        let (beam_seq, beam_visited) = throughput(
+            &BeamSearch::with_budget(beam_budget.with_parallelism(1)),
+            &s.workflow,
+        );
+        let beam_par = run_par.then(|| {
+            throughput(
+                &BeamSearch::with_budget(beam_budget.with_parallelism(4)),
+                &s.workflow,
+            )
+            .0
+        });
+
         let par_cell = |par: Option<f64>, seq: f64| match par {
             Some(p) => format!(
                 "\"par4_states_per_sec\": {p:.0}, \"speedup\": {:.2}",
@@ -350,6 +374,9 @@ fn main() {
                 "\"visited\": {es_visited}}},\n",
                 "    \"hs\": {{\"seq_states_per_sec\": {hs_seq:.0}, {hs_par}, ",
                 "\"visited\": {hs_visited}}},\n",
+                "    \"beam\": {{\"width\": {beam_width}, ",
+                "\"seq_states_per_sec\": {beam_seq:.0}, {beam_par}, ",
+                "\"visited\": {beam_visited}}},\n",
                 "{incr}",
                 "    \"clone\": {{\"nodes\": {nodes}, \"clone_ns\": {clone_ns:.0}, ",
                 "\"swap_transition_ns\": {transition_ns:.0}, ",
@@ -363,6 +390,10 @@ fn main() {
             hs_seq = hs_seq,
             hs_par = par_cell(hs_par, hs_seq),
             hs_visited = hs_visited,
+            beam_width = BeamSearch::DEFAULT_WIDTH,
+            beam_seq = beam_seq,
+            beam_par = par_cell(beam_par, beam_seq),
+            beam_visited = beam_visited,
             incr = incr,
             nodes = c.nodes,
             clone_ns = c.clone_ns,

@@ -9,8 +9,8 @@
 //!
 //! * [`core`] (`etlopt-core`) — the workflow model, the five
 //!   equivalence-preserving transitions (Swap, Factorize, Distribute,
-//!   Merge, Split), cost models and the three search algorithms (ES, HS,
-//!   HS-Greedy);
+//!   Merge, Split), cost models and the four search algorithms (ES, HS,
+//!   HS-Greedy, Beam);
 //! * [`engine`] (`etlopt-engine`) — an in-memory executor that runs any
 //!   workflow state over real tuples, used to verify equivalence
 //!   empirically;

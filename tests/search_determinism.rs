@@ -106,6 +106,34 @@ fn greedy_parallel_matches_sequential_on_generated_workloads() {
 }
 
 #[test]
+fn beam_parallel_matches_sequential_on_generated_workloads() {
+    // Beam adds a deterministic truncation step on top of the ES expansion
+    // loop; the contract is the same — and must hold at every width,
+    // including widths small enough to actually truncate.
+    let model = RowCountModel::default();
+    for (name, wf) in scenarios() {
+        for width in [2usize, 64] {
+            let outcomes: Vec<_> = [1usize, 2, 4]
+                .iter()
+                .map(|&threads| {
+                    BeamSearch::with_budget(SearchBudget::states(1_500).with_parallelism(threads))
+                        .with_width(width)
+                        .run(&wf, &model)
+                        .unwrap()
+                })
+                .collect();
+            for (i, par) in outcomes.iter().enumerate().skip(1) {
+                assert_same_outcome(
+                    &format!("Beam w={width} t={} on {name}", [1, 2, 4][i]),
+                    &outcomes[0],
+                    par,
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn default_parallelism_matches_forced_sequential() {
     // `parallelism: None` resolves to the machine's available parallelism —
     // whatever that is, the answer must match the 1-thread run.
