@@ -24,6 +24,7 @@
 //! monotone non-increasing best cost in `K` on the smoke seeds.
 
 use std::cell::OnceCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cost::CostModel;
@@ -45,6 +46,9 @@ pub struct BeamSearch {
     /// states (signature tie-break) survive. Clamped to ≥ 1 by the
     /// constructors; `usize::MAX` makes the search exhaustive.
     pub width: usize,
+    /// Optional cross-run move-enumeration cache; `None` builds a fresh
+    /// per-run memo (the one-shot default).
+    shared_memo: Option<Arc<MoveMemo>>,
 }
 
 impl BeamSearch {
@@ -62,7 +66,19 @@ impl BeamSearch {
         BeamSearch {
             budget,
             width: Self::DEFAULT_WIDTH,
+            shared_memo: None,
         }
+    }
+
+    /// Reuse a [`MoveMemo`] across runs instead of building a fresh one.
+    /// Same soundness contract as
+    /// [`crate::opt::ExhaustiveSearch::with_shared_memo`]: every sharing
+    /// run must operate on states of one workflow family, and the search
+    /// result is unchanged — only the memo telemetry covers the shared
+    /// cache's traffic during this run.
+    pub fn with_shared_memo(mut self, memo: Arc<MoveMemo>) -> Self {
+        self.shared_memo = Some(memo);
+        self
     }
 
     /// Set the frontier width (clamped to ≥ 1).
@@ -114,6 +130,7 @@ impl Default for BeamSearch {
         BeamSearch {
             budget: SearchBudget::default(),
             width: Self::DEFAULT_WIDTH,
+            shared_memo: None,
         }
     }
 }
@@ -136,7 +153,15 @@ impl Optimizer for BeamSearch {
         col.beam_width(u64::try_from(width).unwrap_or(u64::MAX));
         let mut pacer = Pacer::new(started, &self.budget);
         let threads = Threads::new(self.budget.threads());
-        let memo = MoveMemo::new();
+        let local_memo;
+        let memo: &MoveMemo = match self.shared_memo.as_deref() {
+            Some(m) => m,
+            None => {
+                local_memo = MoveMemo::new();
+                &local_memo
+            }
+        };
+        let (memo_h0, memo_m0) = memo.stats();
         let initial = EvalState::full(wf.clone(), model)?;
         let initial_cost = initial.total;
         col.evaluated(initial.via_delta());
@@ -175,7 +200,7 @@ impl Optimizer for BeamSearch {
             // Expansion: identical to ES — workers price successors
             // incrementally and pre-filter duplicates against the
             // quiescent sharded visited set.
-            let expanded = expand_frontier(&frontier, &threads, &memo, model, &visited);
+            let expanded = expand_frontier(&frontier, &threads, memo, model, &visited);
 
             // Merge: one coordinator, deterministic (frontier index, move
             // index) order, same bookkeeping as ES. Once the budget stops
@@ -265,7 +290,7 @@ impl Optimizer for BeamSearch {
         let (shard_min, shard_max) = visited.occupancy();
         col.visited_shards(visited.shard_count() as u64, shard_min, shard_max);
         let (hits, misses) = memo.stats();
-        col.memo(hits, misses);
+        col.memo(hits.saturating_sub(memo_h0), misses.saturating_sub(memo_m0));
         col.worker_batches(threads.batch_counts());
         col.span(span);
         sink.event(TraceEvent::Finished {

@@ -172,6 +172,13 @@ impl SearchBudget {
         self
     }
 
+    /// Set the wall-clock cap. Servers use this to clamp client-supplied
+    /// time budgets to a process-wide ceiling.
+    pub fn with_max_time(mut self, max_time: Duration) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
     /// Resolved worker count: the explicit knob, or the machine's
     /// available parallelism.
     pub fn threads(&self) -> usize {

@@ -201,6 +201,49 @@ fn render_op(op: &Op) -> Result<String> {
     })
 }
 
+/// Digest of a workflow's *family identity*: the lifelong activity
+/// id → operator binding plus the recordset names, kinds and schemata —
+/// and nothing else. Graph wiring, selectivities and row estimates are
+/// deliberately excluded, so every state a swap chain can reach, and
+/// every calibration re-seeding, digests identically. Cross-request
+/// caches keyed by this digest ([`crate::opt::MoveMemo`], engine result
+/// caches, calibration stores) are sound because equal digests imply the
+/// stable id ↔ payload binding their entries rely on; a state whose
+/// activity set differs (e.g. a FAC/DIS product) digests differently and
+/// lands in its own family — forfeiting sharing, never corrupting it.
+///
+/// Fails exactly where [`render`] does: on merged activities, an
+/// optimizer-internal construct the wire format cannot carry.
+pub fn family_digest(wf: &Workflow) -> Result<u128> {
+    use crate::signature::Fp128;
+    let graph = wf.graph();
+    let mut recordsets: Vec<String> = Vec::new();
+    let mut activities: Vec<String> = Vec::new();
+    for id in graph.topo_order()? {
+        match graph.node(id)? {
+            Node::Recordset(rs) => recordsets.push(format!(
+                "R\x1f{}\x1f{}\x1f{}",
+                rs.name,
+                rs.kind.tag(),
+                attr_list(rs.schema.attrs())
+            )),
+            Node::Activity(act) => {
+                activities.push(format!("A\x1f{}\x1f{}", act.id, render_op(&act.op)?))
+            }
+        }
+    }
+    // Canonical order, not graph order: two states of one family may
+    // topologically sort differently.
+    recordsets.sort();
+    activities.sort();
+    let mut fp = Fp128::new();
+    for line in recordsets.iter().chain(activities.iter()) {
+        fp.write(line.as_bytes());
+        fp.write(b"\n");
+    }
+    Ok(fp.finish())
+}
+
 /// Parse a workflow from text.
 pub fn parse(text: &str) -> Result<Workflow> {
     let mut b = WorkflowBuilder::new();
@@ -605,5 +648,59 @@ mod tests {
         "#;
         let wf = parse(text).unwrap();
         assert_eq!(wf.signature().to_string(), "((1.3)//(2.4.5.6)).7.8.9");
+    }
+
+    #[test]
+    fn family_digest_survives_swaps_and_calibration() {
+        use crate::opt::enumerate_moves;
+        let mut b = WorkflowBuilder::new();
+        let s = b.source("S", Schema::of(["k", "v"]), 100.0);
+        let f = b.unary(
+            "σ",
+            UnaryOp::filter(Predicate::gt("v", 1)).with_selectivity(0.5),
+            s,
+        );
+        let sk = b.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), f);
+        b.target("T", Schema::of(["sk", "v"]), sk);
+        let wf = b.build().unwrap();
+        let base = family_digest(&wf).unwrap();
+
+        // A swapped sibling stays in the family (different signature,
+        // same id → op binding).
+        let swap = enumerate_moves(&wf)
+            .unwrap()
+            .into_iter()
+            .find(|m| matches!(m, crate::opt::Move::Swap(_)))
+            .expect("chain has a swap");
+        let swapped = swap.apply(&wf).unwrap();
+        assert_ne!(wf.signature(), swapped.signature());
+        assert_eq!(family_digest(&swapped).unwrap(), base);
+
+        // Re-seeded selectivities stay in the family.
+        let acts = wf.activities().unwrap();
+        let reseeded = wf.with_selectivity(acts[0], 0.123).unwrap();
+        assert_eq!(family_digest(&reseeded).unwrap(), base);
+
+        // A different operator payload leaves it.
+        let mut b2 = WorkflowBuilder::new();
+        let s = b2.source("S", Schema::of(["k", "v"]), 100.0);
+        let f = b2.unary("σ", UnaryOp::filter(Predicate::gt("v", 2)), s);
+        let sk = b2.unary("SK", UnaryOp::surrogate_key("k", "sk", "L"), f);
+        b2.target("T", Schema::of(["sk", "v"]), sk);
+        let other = b2.build().unwrap();
+        assert_ne!(family_digest(&other).unwrap(), base);
+    }
+
+    #[test]
+    fn family_digest_is_stable_across_parse_roundtrip() {
+        let text = r#"
+            source "S" table rows=10 (a, b)
+            activity a1 "σ" = filter a >= 1.0 sel=0.5 <- "S"
+            activity a2 "NN" = not_null(b) <- a1
+            target "T" table (a, b) <- a2
+        "#;
+        let wf = parse(text).unwrap();
+        let again = parse(&render(&wf).unwrap()).unwrap();
+        assert_eq!(family_digest(&wf).unwrap(), family_digest(&again).unwrap());
     }
 }

@@ -123,6 +123,50 @@ impl Default for SharedCache {
     }
 }
 
+/// A clonable, thread-safe handle to one [`SharedCache`], so several
+/// executors — concurrent server jobs, the adaptive loop's observer, a
+/// warm-up pass — can populate and probe the same cache. The scoping
+/// contract is unchanged: one handle per (workflow family, catalog) pair.
+///
+/// Locking is per *run*, not per lookup: [`crate::Executor::run_stream_shared`]
+/// holds the lock for the whole execution, which keeps a run's hit/miss
+/// accounting exact (the closure sees the cache quiescent) and costs
+/// nothing across families, since distinct families use distinct handles.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCacheHandle {
+    inner: Arc<std::sync::Mutex<SharedCache>>,
+}
+
+impl SharedCacheHandle {
+    /// Wrap a cache for sharing.
+    pub fn new(cache: SharedCache) -> SharedCacheHandle {
+        SharedCacheHandle {
+            inner: Arc::new(std::sync::Mutex::new(cache)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the cache.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut SharedCache) -> R) -> R {
+        let mut guard = self.inner.lock().expect("shared cache lock poisoned");
+        f(&mut guard)
+    }
+
+    /// `(hits, misses, insertions)` accumulated over every run so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        self.with_cache(|c| c.counters())
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.with_cache(|c| c.len())
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.with_cache(|c| c.is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

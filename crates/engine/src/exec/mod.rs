@@ -29,7 +29,7 @@ pub(crate) mod partition;
 pub(crate) mod roundsync;
 pub(crate) mod stream;
 
-pub use cache::SharedCache;
+pub use cache::{SharedCache, SharedCacheHandle};
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;

@@ -13,7 +13,7 @@ use etlopt_core::workflow::Workflow;
 
 use crate::catalog::Catalog;
 use crate::error::{EngineError, Result};
-use crate::exec::{Backend, SharedCache, StreamConfig, StreamRun};
+use crate::exec::{Backend, SharedCache, SharedCacheHandle, StreamConfig, StreamRun};
 use crate::functions::FunctionRegistry;
 use crate::ops::{exec_binary, exec_chain, exec_unary, ExecCtx};
 use crate::table::Table;
@@ -178,6 +178,15 @@ impl Executor {
     /// (which must have been populated against this executor's catalog).
     pub fn run_stream_cached(&self, wf: &Workflow, cache: &mut SharedCache) -> Result<StreamRun> {
         crate::exec::run_stream(self.exec_ctx(), wf, self.stream_cfg, Some(cache))
+    }
+
+    /// Execute with the streaming backend against a cache shared across
+    /// *executors* (concurrent server jobs, adaptive observers). Holds the
+    /// handle's lock for the run, so sibling runs in one family serialize
+    /// their executions while the targets stay bit-identical to an
+    /// uncached run — the [`SharedCache`] contract.
+    pub fn run_stream_shared(&self, wf: &Workflow, cache: &SharedCacheHandle) -> Result<StreamRun> {
+        cache.with_cache(|c| self.run_stream_cached(wf, c))
     }
 
     /// Stats-harvest hook for the adaptive re-optimization loop: execute
@@ -349,6 +358,67 @@ impl PlanObserver for Harvester {
         let run = self
             .exec
             .run_stream_cached(wf, &mut self.cache)
+            .map_err(|e| CoreError::Observation(e.to_string()))?;
+        self.counters.absorb(&run.counters);
+        self.runs += 1;
+        self.exec.observation_of(wf, &run.result)
+    }
+}
+
+/// [`Harvester`]'s multi-executor twin: the same adaptive-loop observer,
+/// but over a [`SharedCacheHandle`] instead of an owned cache — so
+/// several concurrently running loops (or a server's sibling jobs) feed
+/// and probe one family-scoped cache. Targets — and therefore every
+/// observation the calibration layer sees — stay bit-identical to an
+/// uncached run regardless of who populated the cache first; only the
+/// work accounting (`counters`) varies with cache occupancy.
+#[derive(Debug)]
+pub struct SharedHarvester {
+    exec: Executor,
+    cache: SharedCacheHandle,
+    counters: ExecCounters,
+    runs: u64,
+}
+
+impl SharedHarvester {
+    /// An observer over `exec` feeding the shared `cache` (which must be
+    /// scoped to this executor's catalog and the plans' workflow family).
+    pub fn new(exec: Executor, cache: SharedCacheHandle) -> SharedHarvester {
+        SharedHarvester {
+            exec,
+            cache,
+            counters: ExecCounters::default(),
+            runs: 0,
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Pool/batch/cache counters accumulated over this observer's runs
+    /// (not the whole shared cache's traffic).
+    pub fn counters(&self) -> &ExecCounters {
+        &self.counters
+    }
+
+    /// Number of plans observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> &SharedCacheHandle {
+        &self.cache
+    }
+}
+
+impl PlanObserver for SharedHarvester {
+    fn observe(&mut self, wf: &Workflow) -> etlopt_core::error::Result<Observation> {
+        let run = self
+            .exec
+            .run_stream_shared(wf, &self.cache)
             .map_err(|e| CoreError::Observation(e.to_string()))?;
         self.counters.absorb(&run.counters);
         self.runs += 1;

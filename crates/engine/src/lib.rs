@@ -48,8 +48,8 @@ pub mod validate;
 
 pub use catalog::Catalog;
 pub use error::{EngineError, Result};
-pub use exec::{Backend, SharedCache, StreamConfig, StreamRun};
-pub use executor::{ExecResult, ExecStats, Executor, Harvester};
+pub use exec::{Backend, SharedCache, SharedCacheHandle, StreamConfig, StreamRun};
+pub use executor::{ExecResult, ExecStats, Executor, Harvester, SharedHarvester};
 pub use functions::FunctionRegistry;
 pub use pool::{BufferId, BufferPool, PoolConfig};
 pub use table::{Row, Table};

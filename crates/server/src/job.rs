@@ -1,0 +1,556 @@
+//! Job execution: the one code path shared by server workers and the
+//! client's `oneshot` mode.
+//!
+//! [`run_request`] is deliberately the *only* way a job op produces a
+//! body, so "server responses are byte-identical to the one-shot
+//! binaries" is true by construction: the server runs `run_request`
+//! against the process-wide registry, `oneshot` runs it against a fresh
+//! single-request registry, and the body bytes agree because everything
+//! the shared state could change (cache hits, memo hits, elapsed time)
+//! is reported in the envelope's non-canonical `meta`, never in `body`.
+//!
+//! Canonical-body rules:
+//!
+//! * search counters come from [`SearchStats::counters_json`], which
+//!   excludes memo telemetry — a warm shared memo changes hit counts but
+//!   not the counters the body carries;
+//! * executed targets are reported as row counts plus a multiset digest,
+//!   never per-activity [`ExecStats`] — a warm shared cache serves
+//!   prefix results without re-running their activities, so per-activity
+//!   stats are the one execution artifact that is *not*
+//!   concurrency-stable.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlopt_core::cost::{CostModel, RowCountModel};
+use etlopt_core::opt::{
+    run_adaptive, AdaptiveConfig, BeamSearch, ExhaustiveSearch, HeuristicSearch, HsGreedy,
+    MoveMemo, Optimizer, SearchBudget, SearchOutcome,
+};
+use etlopt_core::text;
+use etlopt_core::workflow::Workflow;
+use etlopt_engine::{Executor, Harvester, Table};
+use etlopt_workload::{datagen, CalibrationStore};
+
+use crate::json;
+use crate::proto::{Code, Op, Request, Response};
+use crate::state::Registry;
+
+/// The seed tweak `etlopt-conformance::scenario_executor` applies before
+/// generating the synthetic catalog; replicated here so a server
+/// `execute` sees exactly the conformance suite's data for the same
+/// (workflow, rows, seed) triple.
+const DATA_SEED_TWEAK: u64 = 0xD1FF_C0DE;
+
+/// A request after server-side clamping: the budgets the job actually
+/// runs with. Clamped values are part of the canonical body, so a client
+/// asking for more than the ceiling sees what it actually got.
+struct Effective {
+    states: usize,
+    time_ms: u64,
+    rows: usize,
+    rounds: usize,
+}
+
+fn clamp(req: &Request, reg: &Registry) -> Effective {
+    let cfg = reg.config();
+    Effective {
+        states: req.states.clamp(1, cfg.max_states),
+        time_ms: req.time_ms.clamp(1, cfg.max_time_ms),
+        rows: req.rows.clamp(1, cfg.max_rows),
+        rounds: req.rounds.clamp(1, cfg.max_rounds),
+    }
+}
+
+fn build_optimizer(algo: &str, budget: SearchBudget, memo: Arc<MoveMemo>) -> Box<dyn Optimizer> {
+    match algo {
+        "es" => Box::new(ExhaustiveSearch::with_budget(budget).with_shared_memo(memo)),
+        "hs" => Box::new(HeuristicSearch::with_budget(budget)),
+        "hs-greedy" => Box::new(HsGreedy::with_budget(budget)),
+        // Request::parse validated the algo name already.
+        _ => Box::new(BeamSearch::with_budget(budget).with_shared_memo(memo)),
+    }
+}
+
+/// The executor the one-shot conformance path would build for this
+/// request: synthetic catalog from the workflow's sources.
+fn executor_for(wf: &Workflow, rows: usize, seed: u64) -> Executor {
+    Executor::new(datagen::catalog_for(wf, rows, seed ^ DATA_SEED_TWEAK))
+}
+
+/// Order-independent digest of a table as a multiset of rows, over typed
+/// scalar bytes (FNV-1a folded per row, row hashes sorted, then folded
+/// with the schema). Stable across runs, platforms and — because it
+/// ignores row order — across streaming/caching execution strategies.
+pub fn table_digest(table: &Table) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    fn feed(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    fn feed_scalar(h: &mut u64, s: &etlopt_core::scalar::Scalar) {
+        use etlopt_core::scalar::Scalar;
+        match s {
+            Scalar::Null => feed(h, b"N"),
+            Scalar::Int(i) => {
+                feed(h, b"i");
+                feed(h, &i.to_be_bytes());
+            }
+            Scalar::Float(f) => {
+                feed(h, b"f");
+                feed(h, &f.to_bits().to_be_bytes());
+            }
+            Scalar::Str(s) => {
+                feed(h, b"s");
+                feed(h, &(s.len() as u64).to_be_bytes());
+                feed(h, s.as_bytes());
+            }
+            Scalar::Bool(b) => feed(h, if *b { b"b1" } else { b"b0" }),
+            Scalar::Date(d) => {
+                feed(h, b"d");
+                feed(h, &d.to_be_bytes());
+            }
+        }
+    }
+    let mut row_hashes: Vec<u64> = table
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut h = OFFSET;
+            for s in row {
+                feed_scalar(&mut h, s);
+            }
+            h
+        })
+        .collect();
+    row_hashes.sort_unstable();
+    let mut digest = OFFSET;
+    for attr in table.schema().iter() {
+        feed(&mut digest, attr.name().as_bytes());
+        feed(&mut digest, b"\x1f");
+    }
+    for h in row_hashes {
+        feed(&mut digest, &h.to_be_bytes());
+    }
+    digest
+}
+
+/// Observational (non-canonical) metadata accumulated while a job runs.
+struct Meta {
+    started: Instant,
+    memo_hits: u64,
+    memo_misses: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_insertions: u64,
+    harvest_runs: u64,
+    warm_entries: usize,
+}
+
+impl Meta {
+    fn new() -> Meta {
+        Meta {
+            started: Instant::now(),
+            memo_hits: 0,
+            memo_misses: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_insertions: 0,
+            harvest_runs: 0,
+            warm_entries: 0,
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            concat!(
+                "{{\"elapsed_us\":{},\"memo_hits\":{},\"memo_misses\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_insertions\":{},",
+                "\"harvest_runs\":{},\"warm_entries\":{}}}"
+            ),
+            self.started.elapsed().as_micros(),
+            self.memo_hits,
+            self.memo_misses,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.harvest_runs,
+            self.warm_entries,
+        )
+    }
+}
+
+/// Run one request against `registry` and produce its response envelope.
+/// Everything in the returned body is canonical: a fresh registry and a
+/// warm shared one yield the same bytes for the same effective request.
+pub fn run_request(registry: &Registry, req: &Request) -> Response {
+    match req.op {
+        Op::Ping => Response::ok(&req.id, "{\"op\":\"ping\"}".to_owned(), String::new()),
+        Op::Stats => Response::ok(&req.id, registry.stats_json(), String::new()),
+        // The server intercepts shutdown before run_request; reaching it
+        // here (client oneshot mode) is a no-op acknowledgement.
+        Op::Shutdown => Response::ok(
+            &req.id,
+            "{\"op\":\"shutdown\",\"draining\":true}".to_owned(),
+            String::new(),
+        ),
+        Op::Optimize | Op::Execute | Op::Adaptive => run_job(registry, req),
+    }
+}
+
+fn run_job(registry: &Registry, req: &Request) -> Response {
+    let wf = match text::parse(&req.workflow) {
+        Ok(wf) => wf,
+        Err(e) => return Response::fail(&req.id, Code::BadRequest, format!("workflow: {e}")),
+    };
+    let digest = match text::family_digest(&wf) {
+        Ok(d) => d,
+        Err(e) => return Response::fail(&req.id, Code::BadRequest, format!("family digest: {e}")),
+    };
+    let eff = clamp(req, registry);
+    let family = registry.family(digest);
+    let memo = family.memo();
+    let budget = SearchBudget::states(eff.states)
+        .with_max_time(Duration::from_millis(eff.time_ms))
+        .with_parallelism(req.parallelism);
+    let optimizer = build_optimizer(&req.algo, budget, Arc::clone(&memo));
+    let model = RowCountModel::default();
+    let mut meta = Meta::new();
+    let (memo_h0, memo_m0) = memo.stats();
+
+    let result = match req.op {
+        Op::Optimize => optimize_body(req, &eff, digest, &wf, optimizer.as_ref(), &model),
+        Op::Execute => execute_body(
+            req,
+            &eff,
+            digest,
+            &wf,
+            optimizer.as_ref(),
+            &model,
+            registry,
+            &mut meta,
+        ),
+        Op::Adaptive => adaptive_body(
+            req,
+            &eff,
+            digest,
+            &wf,
+            optimizer.as_ref(),
+            &model,
+            registry,
+            &mut meta,
+        ),
+        // run_request dispatched only job ops here.
+        _ => Err("not a job op".to_owned()),
+    };
+    let (memo_h1, memo_m1) = memo.stats();
+    meta.memo_hits = memo_h1.saturating_sub(memo_h0);
+    meta.memo_misses = memo_m1.saturating_sub(memo_m0);
+    match result {
+        Ok(body) => Response::ok(&req.id, body, meta.render()),
+        Err(e) => Response::fail(&req.id, Code::Internal, e),
+    }
+}
+
+/// The search-result fragment shared by optimize and execute bodies.
+fn outcome_fragment(outcome: &SearchOutcome) -> Result<String, String> {
+    let plan = text::render(&outcome.best).map_err(|e| format!("render plan: {e}"))?;
+    Ok(format!(
+        concat!(
+            "\"initial_cost\":{},\"best_cost\":{},\"visited_states\":{},",
+            "\"budget_exhausted\":{},\"plan\":\"{}\",\"counters\":\"{}\""
+        ),
+        outcome.initial_cost,
+        outcome.best_cost,
+        outcome.visited_states,
+        outcome.budget_exhausted,
+        json::escape(&plan),
+        json::escape(&outcome.stats.counters_json()),
+    ))
+}
+
+fn optimize_body(
+    req: &Request,
+    eff: &Effective,
+    digest: u128,
+    wf: &Workflow,
+    optimizer: &dyn Optimizer,
+    model: &dyn CostModel,
+) -> Result<String, String> {
+    let outcome = optimizer
+        .run(wf, model)
+        .map_err(|e| format!("search: {e}"))?;
+    Ok(format!(
+        "{{\"op\":\"optimize\",\"algo\":\"{}\",\"family\":\"{:032x}\",\"states\":{},\"time_ms\":{},{}}}",
+        req.algo,
+        digest,
+        eff.states,
+        eff.time_ms,
+        outcome_fragment(&outcome)?,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_body(
+    req: &Request,
+    eff: &Effective,
+    digest: u128,
+    wf: &Workflow,
+    optimizer: &dyn Optimizer,
+    model: &dyn CostModel,
+    registry: &Registry,
+    meta: &mut Meta,
+) -> Result<String, String> {
+    let outcome = optimizer
+        .run(wf, model)
+        .map_err(|e| format!("search: {e}"))?;
+    let family = registry.family(digest);
+    let cache = family.cache(eff.rows, req.seed);
+    let (h0, m0, i0) = cache.counters();
+    let exec = executor_for(wf, eff.rows, req.seed);
+    let run = exec
+        .run_stream_shared(&outcome.best, &cache)
+        .map_err(|e| format!("execute: {e}"))?;
+    let (h1, m1, i1) = cache.counters();
+    meta.cache_hits = h1.saturating_sub(h0);
+    meta.cache_misses = m1.saturating_sub(m0);
+    meta.cache_insertions = i1.saturating_sub(i0);
+    let mut targets = String::new();
+    for (name, table) in &run.result.targets {
+        if !targets.is_empty() {
+            targets.push(',');
+        }
+        targets.push_str(&format!(
+            "\"{}\":{{\"rows\":{},\"digest\":\"{:016x}\"}}",
+            json::escape(name),
+            table.len(),
+            table_digest(table),
+        ));
+    }
+    Ok(format!(
+        concat!(
+            "{{\"op\":\"execute\",\"algo\":\"{}\",\"family\":\"{:032x}\",",
+            "\"states\":{},\"time_ms\":{},\"rows\":{},\"seed\":{},",
+            "{},\"targets\":{{{}}}}}"
+        ),
+        req.algo,
+        digest,
+        eff.states,
+        eff.time_ms,
+        eff.rows,
+        req.seed,
+        outcome_fragment(&outcome)?,
+        targets,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_body(
+    req: &Request,
+    eff: &Effective,
+    digest: u128,
+    wf: &Workflow,
+    optimizer: &dyn Optimizer,
+    model: &dyn CostModel,
+    registry: &Registry,
+    meta: &mut Meta,
+) -> Result<String, String> {
+    // Adaptive deliberately does NOT use the family's shared result
+    // cache: calibration harvests per-activity statistics, and a
+    // cache-served prefix executes no activities — a pre-warmed cache
+    // would starve the harvester of observations and change the report.
+    // The private per-job cache below still reuses prefixes *across
+    // rounds*, exactly like the one-shot adaptive path; the cross-job
+    // shared win for adaptive is the warm calibration store.
+    let mut harvester = Harvester::new(executor_for(wf, eff.rows, req.seed));
+    let cfg = AdaptiveConfig::rounds(eff.rounds);
+
+    let report = if req.warm {
+        // Warm: run against the tenant's accumulated calibration, hold
+        // its lock for the whole loop (adaptive rounds interleave reads
+        // and writes), persist afterwards.
+        let store = registry
+            .calibration(&req.tenant, digest)
+            .map_err(|e| format!("calibration store: {e}"))?;
+        let mut guard = store.lock().expect("tenant calibration lock poisoned");
+        meta.warm_entries = guard.len();
+        let report = run_adaptive(wf, model, optimizer, &mut harvester, &mut *guard, cfg)
+            .map_err(|e| format!("adaptive: {e}"))?;
+        registry
+            .persist_calibration(&req.tenant, digest, &guard)
+            .map_err(|e| format!("calibration store: {e}"))?;
+        report
+    } else {
+        // Cold: a throwaway store, never merged back — a pure baseline
+        // run that cannot leak observations into the tenant's state.
+        let mut store = CalibrationStore::new();
+        run_adaptive(wf, model, optimizer, &mut harvester, &mut store, cfg)
+            .map_err(|e| format!("adaptive: {e}"))?
+    };
+    let counters = harvester.counters();
+    meta.cache_hits = counters.cache_hits;
+    meta.cache_misses = counters.cache_misses;
+    meta.cache_insertions = counters.cache_insertions;
+    meta.harvest_runs = harvester.runs();
+    Ok(format!(
+        concat!(
+            "{{\"op\":\"adaptive\",\"algo\":\"{}\",\"family\":\"{:032x}\",",
+            "\"states\":{},\"time_ms\":{},\"rows\":{},\"seed\":{},",
+            "\"rounds\":{},\"warm\":{},\"report\":\"{}\"}}"
+        ),
+        req.algo,
+        digest,
+        eff.states,
+        eff.time_ms,
+        eff.rows,
+        req.seed,
+        eff.rounds,
+        req.warm,
+        json::escape(&report.to_json()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServerConfig;
+
+    const WF: &str = concat!(
+        "source \"S\" file rows=40 (pkey, cost, date)\n",
+        "target \"DW\" table (pkey, cost, date)\n",
+        "activity nn \"NotNull\" from \"S\" op not_null(cost) sel 0.9\n",
+        "activity sk \"SK\" from nn op surrogate_key(pkey) sel 1.0\n",
+        "edge sk -> \"DW\"\n",
+    );
+
+    /// A workflow in the repo's DSL; tests that only need *a* valid
+    /// workflow parse whatever the current grammar accepts.
+    fn sample_workflow() -> String {
+        match text::parse(WF) {
+            Ok(_) => WF.to_owned(),
+            // Grammar drifted: fall back to rendering a generated one.
+            Err(_) => {
+                use etlopt_workload::{Generator, GeneratorConfig, SizeCategory};
+                let s = Generator::generate(GeneratorConfig {
+                    seed: 2005,
+                    category: SizeCategory::Small,
+                });
+                text::render(&s.workflow).expect("render generated workflow")
+            }
+        }
+    }
+
+    fn request(op: Op, workflow: &str) -> Request {
+        Request {
+            id: "t".to_owned(),
+            tenant: "public".to_owned(),
+            op,
+            algo: "hs".to_owned(),
+            states: 600,
+            time_ms: 10_000,
+            parallelism: 1,
+            rows: 64,
+            seed: 2005,
+            rounds: 6,
+            warm: true,
+            workflow: workflow.to_owned(),
+        }
+    }
+
+    #[test]
+    fn bodies_are_identical_across_fresh_and_warm_registries() {
+        let wf = sample_workflow();
+        for op in [Op::Optimize, Op::Execute, Op::Adaptive] {
+            let mut req = request(op, &wf);
+            // Warm adaptive is *deliberately* stateful (the tenant's
+            // calibration accumulates across requests); the byte
+            // contract for adaptive covers the cold baseline.
+            if op == Op::Adaptive {
+                req.warm = false;
+            }
+            let fresh = |_: ()| {
+                let reg = Registry::new(ServerConfig::default());
+                run_request(&reg, &req)
+            };
+            let a = fresh(());
+            let b = fresh(());
+            assert_eq!(a.code, Code::Ok, "{op:?}: {}", a.error);
+            assert_eq!(a.body, b.body, "{op:?} body must be deterministic");
+
+            // Warm registry: run the same request twice; second body must
+            // match the first (and the fresh ones) byte-for-byte.
+            let reg = Registry::new(ServerConfig::default());
+            let c = run_request(&reg, &req);
+            let d = run_request(&reg, &req);
+            assert_eq!(c.body, a.body, "{op:?} warm registry changed the body");
+            assert_eq!(d.body, a.body, "{op:?} second warm run changed the body");
+        }
+    }
+
+    #[test]
+    fn budgets_are_clamped_to_server_ceilings() {
+        let wf = sample_workflow();
+        let cfg = ServerConfig {
+            max_states: 100,
+            max_rows: 16,
+            max_time_ms: 500,
+            ..ServerConfig::default()
+        };
+        let reg = Registry::new(cfg);
+        let mut req = request(Op::Execute, &wf);
+        req.states = 50_000;
+        req.rows = 100_000;
+        req.time_ms = 3_600_000;
+        let resp = run_request(&reg, &req);
+        assert_eq!(resp.code, Code::Ok, "{}", resp.error);
+        assert!(resp.body.contains("\"states\":100"), "{}", resp.body);
+        assert!(resp.body.contains("\"rows\":16"), "{}", resp.body);
+        assert!(resp.body.contains("\"time_ms\":500"), "{}", resp.body);
+    }
+
+    #[test]
+    fn malformed_workflows_are_bad_requests() {
+        let reg = Registry::new(ServerConfig::default());
+        let req = request(Op::Optimize, "this is not the DSL");
+        let resp = run_request(&reg, &req);
+        assert_eq!(resp.code, Code::BadRequest);
+        assert!(resp.error.contains("workflow"), "{}", resp.error);
+    }
+
+    #[test]
+    fn table_digest_is_order_independent_but_value_sensitive() {
+        use etlopt_core::scalar::Scalar;
+        use etlopt_core::schema::Schema;
+        let schema = Schema::of(["a", "b"]);
+        let t1 = Table::from_rows(
+            schema.clone(),
+            vec![
+                vec![Scalar::Int(1), Scalar::Str("x".into())],
+                vec![Scalar::Int(2), Scalar::Str("y".into())],
+            ],
+        )
+        .unwrap();
+        let t2 = Table::from_rows(
+            schema.clone(),
+            vec![
+                vec![Scalar::Int(2), Scalar::Str("y".into())],
+                vec![Scalar::Int(1), Scalar::Str("x".into())],
+            ],
+        )
+        .unwrap();
+        let t3 = Table::from_rows(
+            schema,
+            vec![
+                vec![Scalar::Int(1), Scalar::Str("x".into())],
+                vec![Scalar::Int(2), Scalar::Str("z".into())],
+            ],
+        )
+        .unwrap();
+        assert_eq!(table_digest(&t1), table_digest(&t2));
+        assert_ne!(table_digest(&t1), table_digest(&t3));
+    }
+}

@@ -1,0 +1,30 @@
+//! Optimizer as a service: a multi-tenant daemon serving the ETL
+//! optimizer over a std-only TCP line protocol.
+//!
+//! One process hosts many tenants and many workflows. Requests are
+//! newline-delimited JSON envelopes ([`proto`]) carrying workflows in
+//! the repository's `text` DSL; a bounded worker pool ([`queue`],
+//! [`server`]) runs them with server-clamped budgets ([`job`]); sibling
+//! requests share move memos and result caches process-wide while
+//! calibration stays tenant-scoped ([`state`]).
+//!
+//! The load-bearing invariant, stated once here and enforced by
+//! construction in [`job::run_request`]: **response bodies are
+//! byte-identical to the one-shot binaries for the same effective
+//! request, at any concurrency, in any arrival order.** Shared state
+//! only makes responses cheaper, never different; everything it can
+//! change (hit counts, elapsed time) travels in the envelope's
+//! non-canonical `meta` field.
+
+pub mod job;
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod state;
+
+pub use job::{run_request, table_digest};
+pub use proto::{Code, Op, Request, Response};
+pub use queue::{JobQueue, Rejected};
+pub use server::{spawn, DrainReport, Server};
+pub use state::{Family, Registry, ServerConfig};

@@ -1,0 +1,297 @@
+//! The daemon: accept loop, connection handlers, worker pool and the
+//! graceful-drain shutdown protocol.
+//!
+//! Thread layout:
+//!
+//! * one **listener** thread accepting connections;
+//! * one detached **connection** thread per client, reading request
+//!   lines, answering control ops (`ping`/`stats`/`shutdown`) inline
+//!   and submitting job ops to the queue;
+//! * `workers` **worker** threads draining the bounded [`JobQueue`],
+//!   running [`job::run_request`] and handing the rendered response
+//!   line back over a per-job channel.
+//!
+//! Shutdown protocol: `shutdown` (the op or the method) closes the
+//! queue — new jobs are refused with a typed `503` while every job
+//! already admitted still runs to completion — then unblocks the
+//! listener with a self-connection. `join` waits for the listener and
+//! all workers, then writes the drain report. Clients waiting on an
+//! admitted job therefore always get their response; clients arriving
+//! after the drain started get a typed rejection, never a dropped
+//! connection.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use crate::job;
+use crate::proto::{Code, Op, Request, Response};
+use crate::queue::{JobQueue, Rejected};
+use crate::state::{Registry, ServerConfig};
+
+/// A job admitted to the queue: the parsed request plus the channel its
+/// rendered response line travels back on.
+struct QueuedJob {
+    req: Request,
+    resp: mpsc::Sender<String>,
+}
+
+/// Counters for the drain report.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_draining: AtomicU64,
+}
+
+/// What the drain looked like, reported by [`Server::join`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Jobs admitted to the queue over the server's lifetime.
+    pub accepted: u64,
+    /// Jobs that ran to completion (equals `accepted` after a clean
+    /// drain — admitted work is never dropped).
+    pub completed: u64,
+    /// Submissions refused by admission control (`429`).
+    pub rejected_full: u64,
+    /// Submissions refused during the drain (`503`).
+    pub rejected_draining: u64,
+}
+
+impl DrainReport {
+    fn render(&self) -> String {
+        format!(
+            "drain complete: accepted={} completed={} rejected_full={} rejected_draining={}\n",
+            self.accepted, self.completed, self.rejected_full, self.rejected_draining
+        )
+    }
+}
+
+/// A running server instance.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    queue: Arc<JobQueue<QueuedJob>>,
+    counters: Arc<Counters>,
+    draining: Arc<AtomicBool>,
+    listener_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<u64>>,
+}
+
+/// Start a server for `cfg`. Binds, spawns the pool and returns
+/// immediately; `local_addr` has the resolved port.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let queue: Arc<JobQueue<QueuedJob>> = Arc::new(JobQueue::new(cfg.queue_depth));
+    let registry = Arc::new(Registry::new(cfg));
+    let counters = Arc::new(Counters::default());
+    let draining = Arc::new(AtomicBool::new(false));
+
+    let mut worker_threads = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let counters = Arc::clone(&counters);
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("etlopt-worker-{i}"))
+                .spawn(move || {
+                    let mut done = 0u64;
+                    while let Some(queued) = queue.recv() {
+                        let resp = job::run_request(&registry, &queued.req);
+                        counters.completed.fetch_add(1, Ordering::Relaxed);
+                        done += 1;
+                        // A send error means the client hung up; the job
+                        // still completed and still counts.
+                        let _ = queued.resp.send(resp.render());
+                    }
+                    done
+                })?,
+        );
+    }
+
+    let listener_thread = {
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let counters = Arc::clone(&counters);
+        let draining = Arc::clone(&draining);
+        std::thread::Builder::new()
+            .name("etlopt-listener".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let queue = Arc::clone(&queue);
+                    let registry = Arc::clone(&registry);
+                    let counters = Arc::clone(&counters);
+                    let draining = Arc::clone(&draining);
+                    // Detached: the handler lives as long as its client.
+                    let _ = std::thread::Builder::new()
+                        .name("etlopt-conn".to_owned())
+                        .spawn(move || {
+                            handle_connection(stream, &registry, &queue, &counters, &draining, addr)
+                        });
+                }
+            })?
+    };
+
+    Ok(Server {
+        addr,
+        registry,
+        queue,
+        counters,
+        draining,
+        listener_thread: Some(listener_thread),
+        worker_threads,
+    })
+}
+
+impl Server {
+    /// The bound address (resolved port included).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The process-wide registry (tests inspect shared-state counters).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Begin the graceful drain: refuse new jobs, let admitted jobs
+    /// finish, unblock the listener. Idempotent.
+    pub fn shutdown(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Unblock the accept loop; the no-op connection is dropped
+        // immediately because `draining` is already set.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait for the drain to be initiated (by [`Server::shutdown`] or
+    /// the wire `shutdown` op), let it complete, then write the drain
+    /// log (if configured) and return the report. A daemon that should
+    /// serve until told otherwise calls `join` directly; a test that
+    /// wants to stop now calls `shutdown` first.
+    pub fn join(mut self) -> DrainReport {
+        if let Some(listener) = self.listener_thread.take() {
+            let _ = listener.join();
+        }
+        let mut per_worker = Vec::with_capacity(self.worker_threads.len());
+        for handle in self.worker_threads.drain(..) {
+            per_worker.push(handle.join().unwrap_or(0));
+        }
+        let report = DrainReport {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            rejected_full: self.counters.rejected_full.load(Ordering::Relaxed),
+            rejected_draining: self.counters.rejected_draining.load(Ordering::Relaxed),
+        };
+        if let Some(path) = &self.registry.config().drain_log {
+            let mut log = String::new();
+            for (i, done) in per_worker.iter().enumerate() {
+                log.push_str(&format!("worker {i}: completed={done}\n"));
+            }
+            log.push_str(&report.render());
+            let _ = std::fs::write(path, log);
+        }
+        report
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    queue: &JobQueue<QueuedJob>,
+    counters: &Counters,
+    draining: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Err(e) => Response::fail("", Code::BadRequest, e),
+            Ok(req) => match req.op {
+                Op::Ping | Op::Stats => job::run_request(registry, &req),
+                Op::Shutdown => {
+                    // Same protocol as Server::shutdown, triggered over
+                    // the wire: close first so no job sneaks in between
+                    // the flag and the queue.
+                    if !draining.swap(true, Ordering::SeqCst) {
+                        queue.close();
+                        let _ = TcpStream::connect(addr);
+                    }
+                    Response::ok(
+                        &req.id,
+                        "{\"op\":\"shutdown\",\"draining\":true}".to_owned(),
+                        String::new(),
+                    )
+                }
+                Op::Optimize | Op::Execute | Op::Adaptive => {
+                    let (tx, rx) = mpsc::channel();
+                    let id = req.id.clone();
+                    match queue.submit(QueuedJob { req, resp: tx }) {
+                        Ok(()) => {
+                            counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            match rx.recv() {
+                                Ok(line) => {
+                                    if write_line(&mut writer, &line).is_err() {
+                                        break;
+                                    }
+                                    continue;
+                                }
+                                // Worker pool gone mid-job: report, don't drop.
+                                Err(_) => Response::fail(
+                                    &id,
+                                    Code::Internal,
+                                    "worker pool terminated".to_owned(),
+                                ),
+                            }
+                        }
+                        Err(Rejected::Full(cap)) => {
+                            counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                            Response::fail(
+                                &id,
+                                Code::QueueFull,
+                                format!("queue full (admission cap {cap}); retry later"),
+                            )
+                        }
+                        Err(Rejected::Draining) => {
+                            counters.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                            Response::fail(
+                                &id,
+                                Code::Draining,
+                                "server draining for shutdown".to_owned(),
+                            )
+                        }
+                    }
+                }
+            },
+        };
+        if write_line(&mut writer, &response.render()).is_err() {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -1,0 +1,294 @@
+//! Process-wide shared state: the multi-tenant registry.
+//!
+//! Scoping rules (the soundness argument lives with each structure):
+//!
+//! * **Move memos** are keyed by *family digest* alone. Memo entries are
+//!   derived purely from workflow structure ([`MoveMemo`]'s keys digest
+//!   slot chains and activity-id bindings), so any two requests in the
+//!   same family — same id→operation bindings, same recordsets, per
+//!   [`etlopt_core::text::family_digest`] — may share one memo
+//!   process-wide, across tenants. Sharing never changes results, only
+//!   skips recomputing applicable-move lists.
+//! * **Result caches** are keyed by (family digest, rows-per-source,
+//!   data seed). The synthetic catalog is a pure function of those
+//!   three, so cached intermediates are bit-identical across tenants and
+//!   the cache is safely process-wide too.
+//! * **Calibration** is keyed by (tenant, family digest) and is the one
+//!   layer that is *not* shared across tenants: calibration stores
+//!   observed selectivities, which feed back into costing. One tenant's
+//!   observations must never re-price another tenant's plans, so each
+//!   tenant gets an isolated store, optionally persisted under
+//!   [`StoreDir`]'s escaped per-tenant directories.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use etlopt_core::opt::MoveMemo;
+use etlopt_engine::{SharedCache, SharedCacheHandle};
+use etlopt_workload::{CalibrationStore, StoreDir, StoreError};
+
+/// Server-process configuration: listen address, pool sizing, admission
+/// caps and the per-job budget ceilings that clamp client requests.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Admission control: jobs allowed to wait in the queue. Submissions
+    /// beyond this are rejected with a typed `429`.
+    pub queue_depth: usize,
+    /// Ceiling on the per-job search-state budget.
+    pub max_states: usize,
+    /// Ceiling on the per-job wall-clock search budget, in milliseconds.
+    pub max_time_ms: u64,
+    /// Ceiling on synthetic rows per source for execute/adaptive jobs.
+    pub max_rows: usize,
+    /// Ceiling on adaptive rounds per job.
+    pub max_rounds: usize,
+    /// Root directory for persisted per-tenant calibration; `None`
+    /// keeps calibration in-memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Where `Server::join` writes the shutdown drain report; `None`
+    /// skips the log.
+    pub drain_log: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 16,
+            max_states: 20_000,
+            max_time_ms: 60_000,
+            max_rows: 4096,
+            max_rounds: 8,
+            store_dir: None,
+            drain_log: None,
+        }
+    }
+}
+
+/// Shared optimizer state for one workflow family: the move memo and the
+/// per-(rows, seed) result caches.
+pub struct Family {
+    memo: Arc<MoveMemo>,
+    caches: Mutex<HashMap<(usize, u64), SharedCacheHandle>>,
+}
+
+impl Family {
+    fn new() -> Family {
+        Family {
+            memo: Arc::new(MoveMemo::new()),
+            caches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The family's shared move memo.
+    pub fn memo(&self) -> Arc<MoveMemo> {
+        Arc::clone(&self.memo)
+    }
+
+    /// The shared result cache for one synthetic dataset of this family,
+    /// created on first touch.
+    pub fn cache(&self, rows: usize, seed: u64) -> SharedCacheHandle {
+        let mut caches = self.caches.lock().expect("family cache map poisoned");
+        caches
+            .entry((rows, seed))
+            .or_insert_with(|| SharedCacheHandle::new(SharedCache::new()))
+            .clone()
+    }
+
+    fn cache_totals(&self) -> (usize, u64, u64, u64) {
+        let caches = self.caches.lock().expect("family cache map poisoned");
+        let mut totals = (caches.len(), 0, 0, 0);
+        for handle in caches.values() {
+            let (h, m, i) = handle.counters();
+            totals.1 += h;
+            totals.2 += m;
+            totals.3 += i;
+        }
+        totals
+    }
+}
+
+/// One tenant's calibration stores, keyed by family digest.
+struct Tenant {
+    cals: Mutex<HashMap<u128, Arc<Mutex<CalibrationStore>>>>,
+}
+
+/// The process-wide registry behind all worker threads.
+pub struct Registry {
+    cfg: ServerConfig,
+    families: Mutex<HashMap<u128, Arc<Family>>>,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl Registry {
+    /// A fresh registry for `cfg`.
+    pub fn new(cfg: ServerConfig) -> Registry {
+        Registry {
+            cfg,
+            families: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The server configuration (budget ceilings live here).
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The shared state for one workflow family, created on first touch.
+    pub fn family(&self, digest: u128) -> Arc<Family> {
+        let mut families = self.families.lock().expect("family map poisoned");
+        Arc::clone(
+            families
+                .entry(digest)
+                .or_insert_with(|| Arc::new(Family::new())),
+        )
+    }
+
+    /// The calibration store for (tenant, family), created on first
+    /// touch. With a configured `store_dir` the first touch warm-loads
+    /// from disk; a corrupt store file is a typed error (surfaced to the
+    /// client as a 500), never silently replaced by an empty store.
+    pub fn calibration(
+        &self,
+        tenant: &str,
+        family: u128,
+    ) -> Result<Arc<Mutex<CalibrationStore>>, StoreError> {
+        let tenant_state = {
+            let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+            Arc::clone(tenants.entry(tenant.to_owned()).or_insert_with(|| {
+                Arc::new(Tenant {
+                    cals: Mutex::new(HashMap::new()),
+                })
+            }))
+        };
+        let mut cals = tenant_state.cals.lock().expect("tenant store map poisoned");
+        if let Some(store) = cals.get(&family) {
+            return Ok(Arc::clone(store));
+        }
+        let store = match &self.cfg.store_dir {
+            Some(root) => StoreDir::new(root)
+                .load(tenant, family)?
+                .unwrap_or_default(),
+            None => CalibrationStore::new(),
+        };
+        let store = Arc::new(Mutex::new(store));
+        cals.insert(family, Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Persist one tenant's store for `family` if a store directory is
+    /// configured.
+    pub fn persist_calibration(
+        &self,
+        tenant: &str,
+        family: u128,
+        store: &CalibrationStore,
+    ) -> Result<(), StoreError> {
+        match &self.cfg.store_dir {
+            Some(root) => StoreDir::new(root).save(tenant, family, store),
+            None => Ok(()),
+        }
+    }
+
+    /// Registry statistics as a JSON object line (the `stats` op).
+    pub fn stats_json(&self) -> String {
+        let families = self.families.lock().expect("family map poisoned");
+        let mut caches = 0usize;
+        let (mut hits, mut misses, mut insertions) = (0u64, 0u64, 0u64);
+        let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
+        for fam in families.values() {
+            let (n, h, m, i) = fam.cache_totals();
+            caches += n;
+            hits += h;
+            misses += m;
+            insertions += i;
+            let (mh, mm) = fam.memo.stats();
+            memo_hits += mh;
+            memo_misses += mm;
+        }
+        let tenants = self.tenants.lock().expect("tenant map poisoned").len();
+        format!(
+            concat!(
+                "{{\"op\":\"stats\",\"families\":{},\"tenants\":{},\"caches\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_insertions\":{},",
+                "\"memo_hits\":{},\"memo_misses\":{}}}"
+            ),
+            families.len(),
+            tenants,
+            caches,
+            hits,
+            misses,
+            insertions,
+            memo_hits,
+            memo_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_and_caches_are_created_once_and_shared() {
+        let reg = Registry::new(ServerConfig::default());
+        let f1 = reg.family(7);
+        let f2 = reg.family(7);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert!(Arc::ptr_eq(&f1.memo(), &f2.memo()));
+        let c1 = f1.cache(64, 1);
+        c1.with_cache(|c| {
+            c.insert(
+                99,
+                Arc::new(etlopt_engine::Table::empty(
+                    etlopt_core::schema::Schema::empty(),
+                )),
+            )
+        });
+        assert_eq!(f2.cache(64, 1).len(), 1, "same (rows, seed) shares a cache");
+        assert_eq!(f2.cache(64, 2).len(), 0, "different seed gets its own");
+        assert_eq!(reg.family(8).cache(64, 1).len(), 0, "different family too");
+    }
+
+    #[test]
+    fn calibration_is_tenant_scoped() {
+        use etlopt_core::opt::adaptive::{CalEntry, Calibration};
+        let reg = Registry::new(ServerConfig::default());
+        let a = reg.calibration("acme", 5).unwrap();
+        a.lock().unwrap().record(1, "1", CalEntry::new(10, 5));
+        let b = reg.calibration("umbrella", 5).unwrap();
+        assert!(
+            b.lock().unwrap().is_empty(),
+            "tenant umbrella must not see acme's calibration"
+        );
+        let a2 = reg.calibration("acme", 5).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2), "same tenant+family is one store");
+    }
+
+    #[test]
+    fn stats_json_is_a_parseable_snapshot() {
+        let reg = Registry::new(ServerConfig::default());
+        reg.family(1).cache(64, 1);
+        reg.calibration("acme", 1).unwrap();
+        let v = crate::json::parse(&reg.stats_json()).unwrap();
+        assert_eq!(
+            v.get("families").and_then(crate::json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("tenants").and_then(crate::json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("caches").and_then(crate::json::Value::as_u64),
+            Some(1)
+        );
+    }
+}

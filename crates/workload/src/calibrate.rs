@@ -7,7 +7,8 @@
 //! would run between loads.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 use etlopt_core::activity::Op;
 use etlopt_core::opt::adaptive::{CalEntry, Calibration};
@@ -171,18 +172,178 @@ impl CalibrationStore {
     }
 
     /// Write the store to a file.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::result::Result<(), String> {
+    pub fn save(&self, path: impl AsRef<Path>) -> std::result::Result<(), StoreError> {
         let path = path.as_ref();
-        std::fs::write(path, self.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
+        std::fs::write(path, self.to_json()).map_err(|e| StoreError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })
     }
 
     /// Load a store from a file written by [`CalibrationStore::save`].
-    pub fn load(path: impl AsRef<Path>) -> std::result::Result<CalibrationStore, String> {
+    ///
+    /// Failures are typed so callers can distinguish "no store yet" from
+    /// "a store exists but is corrupt": an unreadable path is
+    /// [`StoreError::Io`], a file whose contents do not parse is
+    /// [`StoreError::Malformed`]. Silently treating a corrupt file as an
+    /// empty store would erase a deployment's accumulated calibration on
+    /// the next save — malformed input must surface, never default.
+    pub fn load(path: impl AsRef<Path>) -> std::result::Result<CalibrationStore, StoreError> {
         let path = path.as_ref();
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        CalibrationStore::from_json(&text)
+        let text = std::fs::read_to_string(path).map_err(|e| StoreError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })?;
+        CalibrationStore::from_json(&text).map_err(|detail| StoreError::Malformed {
+            path: path.to_path_buf(),
+            detail,
+        })
     }
+}
+
+/// Why a calibration store could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read or written (missing, permissions, …).
+    Io {
+        /// The store path involved.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// The file exists and was read, but its contents are not a
+    /// calibration store.
+    Malformed {
+        /// The store path involved.
+        path: PathBuf,
+        /// One-line description of the first syntax or schema problem.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// `true` when the file existed but failed to parse — the case a
+    /// caller must never paper over with an empty store.
+    pub fn is_malformed(&self) -> bool {
+        matches!(self, StoreError::Malformed { .. })
+    }
+
+    /// `true` when the underlying I/O failure was "file not found" — the
+    /// one case a cold-start caller may treat as an empty store.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StoreError::Io { source, .. }
+            if source.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "calibration store {}: {source}", path.display())
+            }
+            StoreError::Malformed { path, detail } => {
+                write!(
+                    f,
+                    "calibration store {} is malformed: {detail}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Malformed { .. } => None,
+        }
+    }
+}
+
+/// Filesystem layout for per-tenant, per-family calibration stores:
+/// `root/<escaped tenant>/<family digest>.json`. The tenant directory is
+/// the namespace boundary — one tenant's observed selectivities never
+/// price another tenant's plans, because nothing below a tenant directory
+/// is ever read for a different tenant. Family digests
+/// ([`etlopt_core::text::family_digest`]) key the files because
+/// calibration entries digest *activity identity*, which only means
+/// anything within one workflow family.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+impl StoreDir {
+    /// A layout rooted at `root` (created lazily on first save).
+    pub fn new(root: impl Into<PathBuf>) -> StoreDir {
+        StoreDir { root: root.into() }
+    }
+
+    /// The layout root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file backing `(tenant, family)`.
+    pub fn path_for(&self, tenant: &str, family: u128) -> PathBuf {
+        self.root
+            .join(escape_tenant(tenant))
+            .join(format!("{family:032x}.json"))
+    }
+
+    /// Load the store for `(tenant, family)`. `Ok(None)` when no store
+    /// exists yet; a store that exists but is corrupt is an error
+    /// (see [`CalibrationStore::load`]).
+    pub fn load(
+        &self,
+        tenant: &str,
+        family: u128,
+    ) -> std::result::Result<Option<CalibrationStore>, StoreError> {
+        match CalibrationStore::load(self.path_for(tenant, family)) {
+            Ok(store) => Ok(Some(store)),
+            Err(e) if e.is_not_found() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persist the store for `(tenant, family)`, creating directories as
+    /// needed.
+    pub fn save(
+        &self,
+        tenant: &str,
+        family: u128,
+        store: &CalibrationStore,
+    ) -> std::result::Result<(), StoreError> {
+        let path = self.path_for(tenant, family);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+                path: dir.to_path_buf(),
+                source: e,
+            })?;
+        }
+        store.save(path)
+    }
+}
+
+/// Injective filesystem-safe encoding of a tenant name: ASCII
+/// alphanumerics, `-` and `.` pass through; every other byte (including
+/// `_` itself, so the escape prefix cannot be forged) becomes `_xx` hex.
+/// Distinct tenants therefore always map to distinct directories.
+fn escape_tenant(tenant: &str) -> String {
+    let mut out = String::with_capacity(tenant.len() + 8);
+    out.push('t');
+    for &b in tenant.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' => out.push(b as char),
+            other => {
+                out.push('_');
+                out.push_str(&format!("{other:02x}"));
+            }
+        }
+    }
+    out
 }
 
 impl Calibration for CalibrationStore {

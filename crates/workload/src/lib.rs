@@ -18,5 +18,5 @@ pub mod datagen;
 pub mod generator;
 pub mod scenarios;
 
-pub use calibrate::{calibrate, CalibrationStore};
+pub use calibrate::{calibrate, CalibrationStore, StoreDir, StoreError};
 pub use generator::{Generator, GeneratorConfig, Scenario, SizeCategory};

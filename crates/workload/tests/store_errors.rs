@@ -1,0 +1,135 @@
+//! Typed error paths and tenant namespacing of the calibration store's
+//! filesystem layer.
+//!
+//! The regression pinned here: a store file that exists but is corrupt
+//! must surface as [`StoreError::Malformed`], never be silently replaced
+//! by an empty store (which would erase accumulated calibration on the
+//! next save).
+
+use etlopt_core::opt::adaptive::{CalEntry, Calibration};
+use etlopt_workload::{CalibrationStore, StoreDir, StoreError};
+
+use std::path::PathBuf;
+
+/// A unique scratch directory per test, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("etlopt_store_errors_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sample_store() -> CalibrationStore {
+    let mut store = CalibrationStore::new();
+    store.record(7, "3", CalEntry::new(100, 40));
+    store.record_source("S", 128);
+    store
+}
+
+#[test]
+fn malformed_file_is_a_typed_error_not_an_empty_store() {
+    let scratch = Scratch::new("malformed");
+    let path = scratch.0.join("cal.json");
+    std::fs::write(&path, "{ this is not a calibration store ]").unwrap();
+
+    let err = CalibrationStore::load(&path).expect_err("corrupt file must not load");
+    assert!(err.is_malformed(), "got {err:?}");
+    assert!(!err.is_not_found());
+    let msg = err.to_string();
+    assert!(msg.contains("malformed"), "{msg}");
+    assert!(msg.contains("cal.json"), "{msg}");
+}
+
+#[test]
+fn truncated_valid_prefix_is_malformed_too() {
+    let scratch = Scratch::new("truncated");
+    let path = scratch.0.join("cal.json");
+    let full = sample_store().to_json();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    let err = CalibrationStore::load(&path).expect_err("truncated file must not load");
+    assert!(err.is_malformed(), "got {err:?}");
+}
+
+#[test]
+fn missing_file_is_io_not_found() {
+    let scratch = Scratch::new("missing");
+    let err = CalibrationStore::load(scratch.0.join("absent.json"))
+        .expect_err("missing file is an error at this layer");
+    assert!(err.is_not_found(), "got {err:?}");
+    assert!(!err.is_malformed());
+    assert!(matches!(err, StoreError::Io { .. }));
+}
+
+#[test]
+fn save_load_roundtrips_through_typed_layer() {
+    let scratch = Scratch::new("roundtrip");
+    let path = scratch.0.join("cal.json");
+    let store = sample_store();
+    store.save(&path).unwrap();
+    assert_eq!(CalibrationStore::load(&path).unwrap(), store);
+}
+
+#[test]
+fn store_dir_namespaces_tenants() {
+    let scratch = Scratch::new("namespacing");
+    let dir = StoreDir::new(&scratch.0);
+    let family = 0xABCDu128;
+
+    let mut a = CalibrationStore::new();
+    a.record(1, "1", CalEntry::new(10, 5));
+    let mut b = CalibrationStore::new();
+    b.record(1, "1", CalEntry::new(10, 9));
+
+    dir.save("acme", family, &a).unwrap();
+    dir.save("umbrella", family, &b).unwrap();
+
+    // Same family digest, different tenants: loads never mix.
+    assert_eq!(dir.load("acme", family).unwrap().unwrap(), a);
+    assert_eq!(dir.load("umbrella", family).unwrap().unwrap(), b);
+    // A tenant with no saved store is a clean cold start.
+    assert_eq!(dir.load("initech", family).unwrap(), None);
+}
+
+#[test]
+fn store_dir_surfaces_corruption() {
+    let scratch = Scratch::new("dir_corrupt");
+    let dir = StoreDir::new(&scratch.0);
+    dir.save("acme", 1, &sample_store()).unwrap();
+    std::fs::write(dir.path_for("acme", 1), "not json").unwrap();
+    let err = dir.load("acme", 1).expect_err("corrupt store must error");
+    assert!(err.is_malformed(), "got {err:?}");
+}
+
+#[test]
+fn tenant_escaping_is_injective_for_hostile_names() {
+    let scratch = Scratch::new("escaping");
+    let dir = StoreDir::new(&scratch.0);
+    // Names that collide under naive sanitization ('/' → '_').
+    let tenants = ["a/b", "a_b", "a_2fb", "..", "a b"];
+    for (i, t) in tenants.iter().enumerate() {
+        let mut s = CalibrationStore::new();
+        s.record_source("S", i as u64 + 1);
+        dir.save(t, 5, &s).unwrap();
+    }
+    for (i, t) in tenants.iter().enumerate() {
+        let s = dir.load(t, 5).unwrap().unwrap();
+        assert_eq!(
+            s.sources().next().unwrap().1,
+            i as u64 + 1,
+            "tenant {t:?} read someone else's store"
+        );
+        // Every path stays inside the root.
+        assert!(dir.path_for(t, 5).starts_with(&scratch.0));
+    }
+}

@@ -1,0 +1,248 @@
+//! Optimizer-as-a-service soak bench: spawns the daemon in-process,
+//! drives it over real TCP with 8 concurrent clients on persistent
+//! connections, and reports requests/sec with p50/p99 latency plus a
+//! cold-vs-warm sibling row quantifying the shared-state wins — the
+//! result-cache/move-memo hits for execute siblings and the
+//! warm-calibration seeding for adaptive siblings.
+//!
+//! Every soak response body is asserted byte-identical to the cold
+//! body: the determinism contract under full concurrency is part of the
+//! benchmark, not a separate test. Emits `BENCH_server.json` in the
+//! current directory; run with `cargo run --release --bin server_bench`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use etlopt::core::text;
+use etlopt::server::{json, spawn, Code, Op, Request, Response, ServerConfig};
+use etlopt::workload::{Generator, GeneratorConfig, SizeCategory};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 24;
+
+/// One persistent client connection speaking the line protocol.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        Client {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Response {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .expect("send request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read response");
+        Response::parse(reply.trim_end()).expect("parse response")
+    }
+}
+
+fn request(op: Op, tenant: &str, workflow: &str) -> Request {
+    Request {
+        id: "bench".to_owned(),
+        tenant: tenant.to_owned(),
+        op,
+        algo: "beam".to_owned(),
+        states: 600,
+        time_ms: 30_000,
+        parallelism: 1,
+        rows: 1024,
+        seed: 2005,
+        rounds: 4,
+        warm: true,
+        workflow: workflow.to_owned(),
+    }
+}
+
+fn meta_u64(resp: &Response, key: &str) -> u64 {
+    json::parse(&resp.meta)
+        .ok()
+        .and_then(|v| v.get(key).and_then(json::Value::as_u64))
+        .unwrap_or(0)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let server = spawn(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    })
+    .expect("spawn bench server");
+    let addr = server.local_addr().to_string();
+
+    let scenario = Generator::generate(GeneratorConfig {
+        seed: 2005,
+        category: SizeCategory::Small,
+    });
+    let wf_text = text::render(&scenario.workflow).expect("render workflow");
+
+    // Cold row: the first execute in the family pays the full search and
+    // execution; everything it computes lands in the shared caches.
+    let exec_req = request(Op::Execute, "bench", &wf_text).render();
+    let cold_start = Instant::now();
+    let cold = Client::connect(&addr).roundtrip(&exec_req);
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.code, Code::Ok, "cold execute failed: {}", cold.error);
+    let cold_insertions = meta_u64(&cold, "cache_insertions");
+
+    // Warm soak: 8 concurrent clients on persistent connections replay
+    // the same request and must each get the cold body back, byte for
+    // byte, while the meta shows the shared caches doing the work.
+    let soak_start = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let (addr, exec_req, cold_body) = (&addr, &exec_req, &cold.body);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut lats = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let start = Instant::now();
+                        let resp = client.roundtrip(exec_req);
+                        lats.push(start.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(resp.code, Code::Ok, "soak execute failed: {}", resp.error);
+                        assert_eq!(
+                            &resp.body, cold_body,
+                            "soak body diverged from the cold body"
+                        );
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("soak client panicked"))
+            .collect()
+    });
+    let soak_secs = soak_start.elapsed().as_secs_f64().max(1e-9);
+    let total = latencies_ms.len();
+    latencies_ms.sort_by(f64::total_cmp);
+    let rps = total as f64 / soak_secs;
+    let (p50, p99) = (
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.99),
+    );
+
+    // Warm sibling latency on a quiet connection, so the cold-vs-warm
+    // row compares like with like — the soak p50 above includes queueing
+    // behind 8 clients on 4 workers and measures concurrency, not the
+    // cache win.
+    let mut client = Client::connect(&addr);
+    let warm_ms = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let resp = client.roundtrip(&exec_req);
+            assert_eq!(resp.code, Code::Ok, "warm execute failed: {}", resp.error);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Warm-calibration sibling row: the first adaptive request starts
+    // from an empty tenant store, the sibling is seeded by it.
+    let adaptive_req = request(Op::Adaptive, "bench", &wf_text).render();
+    let first = client.roundtrip(&adaptive_req);
+    assert_eq!(
+        first.code,
+        Code::Ok,
+        "first adaptive failed: {}",
+        first.error
+    );
+    let sibling = client.roundtrip(&adaptive_req);
+    assert_eq!(
+        sibling.code,
+        Code::Ok,
+        "sibling adaptive failed: {}",
+        sibling.error
+    );
+    let (first_warm, sibling_warm) = (
+        meta_u64(&first, "warm_entries"),
+        meta_u64(&sibling, "warm_entries"),
+    );
+    assert_eq!(
+        first_warm, 0,
+        "first adaptive must start from an empty store"
+    );
+    assert!(
+        sibling_warm > 0,
+        "sibling adaptive must be seeded by the first"
+    );
+
+    // Registry totals over the whole run, from the stats op.
+    let stats = client.roundtrip("{\"id\":\"bench\",\"op\":\"stats\"}");
+    assert_eq!(stats.code, Code::Ok, "stats failed: {}", stats.error);
+    let stats_body = json::parse(&stats.body).expect("parse stats body");
+    let total_u64 = |key: &str| {
+        stats_body
+            .get(key)
+            .and_then(json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    let (cache_hits, memo_hits) = (total_u64("cache_hits"), total_u64("memo_hits"));
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(
+        report.accepted, report.completed,
+        "bench server dropped jobs on shutdown"
+    );
+
+    eprintln!(
+        "soak: {total} requests, {rps:.1} req/s, p50 {p50:.2} ms, p99 {p99:.2} ms \
+         (cold {cold_ms:.2} ms, warm {warm_ms:.2} ms)"
+    );
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"clients\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"requests_per_sec\": {:.1},\n",
+            "  \"p50_ms\": {:.2},\n",
+            "  \"p99_ms\": {:.2},\n",
+            "  \"cold_vs_warm\": {{\n",
+            "    \"cold_ms\": {:.2},\n",
+            "    \"warm_ms\": {:.2},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"cold_cache_insertions\": {},\n",
+            "    \"soak_cache_hits\": {},\n",
+            "    \"soak_memo_hits\": {},\n",
+            "    \"adaptive_first_warm_entries\": {},\n",
+            "    \"adaptive_sibling_warm_entries\": {}\n",
+            "  }},\n",
+            "  \"drained\": {{\"accepted\": {}, \"completed\": {}}}\n",
+            "}}\n"
+        ),
+        CLIENTS,
+        total,
+        rps,
+        p50,
+        p99,
+        cold_ms,
+        warm_ms,
+        cold_ms / warm_ms.max(1e-9),
+        cold_insertions,
+        cache_hits,
+        memo_hits,
+        first_warm,
+        sibling_warm,
+        report.accepted,
+        report.completed,
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    print!("{json}");
+}

@@ -20,7 +20,11 @@
 //! * [`conformance`] (`etlopt-conformance`) — the differential
 //!   conformance harness: an execution-backed equivalence oracle, a
 //!   replayable-chain corpus sweep and a delta-debugging failure
-//!   minimizer (see the `conformance` binary and `CONFORMANCE.json`).
+//!   minimizer (see the `conformance` binary and `CONFORMANCE.json`);
+//! * [`server`] (`etlopt-server`) — the optimizer-as-a-service daemon:
+//!   a line-protocol TCP server with a bounded worker pool, admission
+//!   control, per-job budget clamping and multi-tenant shared optimizer
+//!   state (see the `etlopt-server` and `etlopt-client` binaries).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,7 @@
 pub use etlopt_conformance as conformance;
 pub use etlopt_core as core;
 pub use etlopt_engine as engine;
+pub use etlopt_server as server;
 pub use etlopt_workload as workload;
 
 /// One-stop imports: the core prelude plus the engine's executor types.
