@@ -30,7 +30,7 @@ use etlopt_core::opt::{
 };
 use etlopt_core::text;
 use etlopt_core::workflow::Workflow;
-use etlopt_engine::{Executor, Harvester, Table};
+use etlopt_engine::{Catalog, Executor, Harvester, Table};
 use etlopt_workload::{datagen, CalibrationStore};
 
 use crate::json;
@@ -45,21 +45,31 @@ const DATA_SEED_TWEAK: u64 = 0xD1FF_C0DE;
 
 /// A request after server-side clamping: the budgets the job actually
 /// runs with. Clamped values are part of the canonical body, so a client
-/// asking for more than the ceiling sees what it actually got.
+/// asking for more than the ceiling sees what it actually got — except
+/// `parallelism`, which is a pure resource knob (results are
+/// parallelism-invariant, enforced by the search-determinism suite) and
+/// whose ceiling is machine-dependent: echoing it would break
+/// byte-identity between servers with different core counts.
 struct Effective {
     states: usize,
     time_ms: u64,
     rows: usize,
     rounds: usize,
+    parallelism: usize,
 }
 
 fn clamp(req: &Request, reg: &Registry) -> Effective {
     let cfg = reg.config();
+    // Ceilings are normalized with `.max(1)`: `clamp` panics when
+    // min > max, and a zero ceiling in a hand-built config must degrade
+    // to "smallest budget", never panic a worker thread (a panicked
+    // worker strands every client queued behind it).
     Effective {
-        states: req.states.clamp(1, cfg.max_states),
-        time_ms: req.time_ms.clamp(1, cfg.max_time_ms),
-        rows: req.rows.clamp(1, cfg.max_rows),
-        rounds: req.rounds.clamp(1, cfg.max_rounds),
+        states: req.states.clamp(1, cfg.max_states.max(1)),
+        time_ms: req.time_ms.clamp(1, cfg.max_time_ms.max(1)),
+        rows: req.rows.clamp(1, cfg.max_rows.max(1)),
+        rounds: req.rounds.clamp(1, cfg.max_rounds.max(1)),
+        parallelism: req.parallelism.clamp(1, cfg.max_parallelism.max(1)),
     }
 }
 
@@ -73,10 +83,58 @@ fn build_optimizer(algo: &str, budget: SearchBudget, memo: Arc<MoveMemo>) -> Box
     }
 }
 
+/// The synthetic catalog the one-shot conformance path would generate
+/// for this request.
+fn catalog_for_request(wf: &Workflow, rows: usize, seed: u64) -> Catalog {
+    datagen::catalog_for(wf, rows, seed ^ DATA_SEED_TWEAK)
+}
+
 /// The executor the one-shot conformance path would build for this
 /// request: synthetic catalog from the workflow's sources.
 fn executor_for(wf: &Workflow, rows: usize, seed: u64) -> Executor {
-    Executor::new(datagen::catalog_for(wf, rows, seed ^ DATA_SEED_TWEAK))
+    Executor::new(catalog_for_request(wf, rows, seed))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn feed(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Order-independent digest of the catalog generated for a job: each
+/// source's name and [`table_digest`], folded in sorted-name order.
+///
+/// This is a load-bearing part of the shared-cache key (see
+/// [`crate::state::Family::cache`]): [`datagen::catalog_for`] threads
+/// *one* RNG across sources in declaration order, while family digests
+/// and the engine's node fingerprints are declaration-order-canonical.
+/// Two same-family workflows that declare their sources in a different
+/// textual order therefore generate different per-source data under
+/// identical (family, rows, seed) — only requests whose generated data
+/// is bit-identical may share cached intermediates.
+pub fn catalog_digest(wf: &Workflow, catalog: &Catalog) -> u64 {
+    use etlopt_core::graph::Node;
+    let mut entries: Vec<(&str, u64)> = Vec::new();
+    for src in wf.sources() {
+        let Ok(Node::Recordset(rs)) = wf.graph().node(src) else {
+            continue;
+        };
+        if let Some(table) = catalog.table(&rs.name) {
+            entries.push((rs.name.as_str(), table_digest(table)));
+        }
+    }
+    entries.sort_unstable();
+    let mut digest = FNV_OFFSET;
+    for (name, table) in entries {
+        feed(&mut digest, name.as_bytes());
+        feed(&mut digest, b"\x1f");
+        feed(&mut digest, &table.to_be_bytes());
+    }
+    digest
 }
 
 /// Order-independent digest of a table as a multiset of rows, over typed
@@ -84,14 +142,6 @@ fn executor_for(wf: &Workflow, rows: usize, seed: u64) -> Executor {
 /// with the schema). Stable across runs, platforms and — because it
 /// ignores row order — across streaming/caching execution strategies.
 pub fn table_digest(table: &Table) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x100_0000_01b3;
-    fn feed(h: &mut u64, bytes: &[u8]) {
-        for &b in bytes {
-            *h ^= u64::from(b);
-            *h = h.wrapping_mul(PRIME);
-        }
-    }
     fn feed_scalar(h: &mut u64, s: &etlopt_core::scalar::Scalar) {
         use etlopt_core::scalar::Scalar;
         match s {
@@ -120,7 +170,7 @@ pub fn table_digest(table: &Table) -> u64 {
         .rows()
         .iter()
         .map(|row| {
-            let mut h = OFFSET;
+            let mut h = FNV_OFFSET;
             for s in row {
                 feed_scalar(&mut h, s);
             }
@@ -128,7 +178,7 @@ pub fn table_digest(table: &Table) -> u64 {
         })
         .collect();
     row_hashes.sort_unstable();
-    let mut digest = OFFSET;
+    let mut digest = FNV_OFFSET;
     for attr in table.schema().iter() {
         feed(&mut digest, attr.name().as_bytes());
         feed(&mut digest, b"\x1f");
@@ -216,7 +266,7 @@ fn run_job(registry: &Registry, req: &Request) -> Response {
     let memo = family.memo();
     let budget = SearchBudget::states(eff.states)
         .with_max_time(Duration::from_millis(eff.time_ms))
-        .with_parallelism(req.parallelism);
+        .with_parallelism(eff.parallelism);
     let optimizer = build_optimizer(&req.algo, budget, Arc::clone(&memo));
     let model = RowCountModel::default();
     let mut meta = Meta::new();
@@ -308,10 +358,14 @@ fn execute_body(
     let outcome = optimizer
         .run(wf, model)
         .map_err(|e| format!("search: {e}"))?;
+    // Generate the data before touching the cache: the cache key needs a
+    // digest of the catalog actually generated (datagen is source-
+    // declaration-order-sensitive; family digests are not).
+    let catalog = catalog_for_request(wf, eff.rows, req.seed);
     let family = registry.family(digest);
-    let cache = family.cache(eff.rows, req.seed);
+    let cache = family.cache(eff.rows, req.seed, catalog_digest(wf, &catalog));
     let (h0, m0, i0) = cache.counters();
-    let exec = executor_for(wf, eff.rows, req.seed);
+    let exec = Executor::new(catalog);
     let run = exec
         .run_stream_shared(&outcome.best, &cache)
         .map_err(|e| format!("execute: {e}"))?;
@@ -510,6 +564,131 @@ mod tests {
         assert!(resp.body.contains("\"states\":100"), "{}", resp.body);
         assert!(resp.body.contains("\"rows\":16"), "{}", resp.body);
         assert!(resp.body.contains("\"time_ms\":500"), "{}", resp.body);
+    }
+
+    #[test]
+    fn parallelism_is_clamped_and_zero_ceilings_cannot_panic() {
+        let wf = sample_workflow();
+        let reg = Registry::new(ServerConfig {
+            max_parallelism: 2,
+            ..ServerConfig::default()
+        });
+        let mut req = request(Op::Optimize, &wf);
+        req.parallelism = 1_000_000;
+        let eff = clamp(&req, &reg);
+        assert_eq!(eff.parallelism, 2, "parallelism must honor the ceiling");
+
+        // Zero ceilings: `x.clamp(1, 0)` panics (min > max), and a
+        // panicked worker never respawns — degrade to budget 1 instead.
+        let zero = Registry::new(ServerConfig {
+            max_states: 0,
+            max_time_ms: 0,
+            max_rows: 0,
+            max_rounds: 0,
+            max_parallelism: 0,
+            ..ServerConfig::default()
+        });
+        let eff = clamp(&req, &zero);
+        assert_eq!(
+            (
+                eff.states,
+                eff.time_ms,
+                eff.rows,
+                eff.rounds,
+                eff.parallelism
+            ),
+            (1, 1, 1, 1, 1)
+        );
+        // And a full job against the degenerate config still answers.
+        let resp = run_request(&zero, &request(Op::Execute, &wf));
+        assert_eq!(resp.code, Code::Ok, "{}", resp.error);
+    }
+
+    /// Two same-family workflows whose sources are declared in opposite
+    /// textual order: `datagen::catalog_for` threads one RNG across
+    /// sources in declaration order, so the per-source data differs even
+    /// though (family, rows, seed) agree. The shared result cache must
+    /// key on the generated data too — otherwise the second workflow is
+    /// served intermediates computed over the first one's catalog.
+    ///
+    /// The pair below is built to make the poisoning *observable*: node
+    /// fingerprints digest recordset priorities (declaration order), not
+    /// names, and family digests ignore graph wiring — so `g`, an
+    /// aggregate (whose output schema depends only on its group/agg
+    /// spec, never its input schema) wired to the priority-1 source in
+    /// both texts, has the *same fingerprint* over `A`'s 1-attribute
+    /// data in one workflow and `B`'s 2-attribute data in the other.
+    /// Without the data component in the cache key, the second request
+    /// is served the first one's aggregate.
+    #[test]
+    fn source_declaration_order_cannot_poison_the_shared_cache() {
+        let ab = concat!(
+            "source \"A\" table rows=40 (cost)\n",
+            "source \"B\" table rows=40 (cost, date)\n",
+            "activity g \"G1\" = aggregate group(cost) sum(cost -> t1) sel=0.5 <- \"A\"\n",
+            "activity nn \"NN\" = not_null(date) sel=0.97 <- \"B\"\n",
+            "activity g2 \"G2\" = aggregate group(cost) sum(cost -> t2) sel=0.5 <- \"B\"\n",
+            "target \"T1\" table (cost, t1) <- g\n",
+            "target \"T2\" table (cost, date) <- nn\n",
+            "target \"T3\" table (cost, t2) <- g2\n",
+        )
+        .to_owned();
+        let ba = concat!(
+            "source \"B\" table rows=40 (cost, date)\n",
+            "source \"A\" table rows=40 (cost)\n",
+            "activity g \"G1\" = aggregate group(cost) sum(cost -> t1) sel=0.5 <- \"B\"\n",
+            "activity nn \"NN\" = not_null(date) sel=0.97 <- \"B\"\n",
+            "activity g2 \"G2\" = aggregate group(cost) sum(cost -> t2) sel=0.5 <- \"A\"\n",
+            "target \"T1\" table (cost, t1) <- g\n",
+            "target \"T2\" table (cost, date) <- nn\n",
+            "target \"T3\" table (cost, t2) <- g2\n",
+        )
+        .to_owned();
+        let wf_ab = text::parse(&ab).expect("parse ab");
+        let wf_ba = text::parse(&ba).expect("parse ba");
+        assert_eq!(
+            text::family_digest(&wf_ab).unwrap(),
+            text::family_digest(&wf_ba).unwrap(),
+            "declaration order must not change the family"
+        );
+        // The hazard is real: same family, same (rows, seed), different
+        // generated data — and the catalog digest tells them apart.
+        let dig_ab = catalog_digest(&wf_ab, &catalog_for_request(&wf_ab, 64, 2005));
+        let dig_ba = catalog_digest(&wf_ba, &catalog_for_request(&wf_ba, 64, 2005));
+        assert_ne!(dig_ab, dig_ba, "swapped sources must re-key the cache");
+        assert_eq!(
+            dig_ab,
+            catalog_digest(&wf_ab, &catalog_for_request(&wf_ab, 64, 2005)),
+            "the digest itself is deterministic"
+        );
+
+        // One-shot references, each on a fresh registry.
+        let fresh_ab = run_request(
+            &Registry::new(ServerConfig::default()),
+            &request(Op::Execute, &ab),
+        );
+        let fresh_ba = run_request(
+            &Registry::new(ServerConfig::default()),
+            &request(Op::Execute, &ba),
+        );
+        assert_eq!(fresh_ab.code, Code::Ok, "{}", fresh_ab.error);
+        assert_eq!(fresh_ba.code, Code::Ok, "{}", fresh_ba.error);
+        assert_ne!(
+            fresh_ab.body, fresh_ba.body,
+            "swapped declarations generate different data, so the \
+             poisoning would be observable"
+        );
+
+        // Shared registry, ab first: ba must still match ITS one-shot
+        // body, not inherit ab's cached intermediates.
+        let reg = Registry::new(ServerConfig::default());
+        let warm_ab = run_request(&reg, &request(Op::Execute, &ab));
+        assert_eq!(warm_ab.body, fresh_ab.body);
+        let warm_ba = run_request(&reg, &request(Op::Execute, &ba));
+        assert_eq!(
+            warm_ba.body, fresh_ba.body,
+            "sibling with re-ordered sources was served the wrong catalog"
+        );
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -111,12 +112,30 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting. The protocol needs 2–3 levels; the cap
+/// exists because the parser is recursive descent on a network-facing
+/// daemon — without it a `[[[[…` request line deep enough to overflow
+/// the stack aborts the whole process, not just the connection.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while self
             .bytes
@@ -175,10 +194,12 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
+        self.enter()?;
         self.eat(b'{')?;
         let mut map = BTreeMap::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(map));
         }
         loop {
@@ -190,6 +211,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(map));
                 }
                 other => {
@@ -204,10 +226,12 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
+        self.enter()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -216,6 +240,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 other => {
@@ -341,6 +366,28 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // Well under the cap parses fine…
+        let shallow = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH - 1),
+            "]".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse(&shallow).is_ok());
+        // …one past it is a parse error…
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&deep).unwrap_err().contains("nesting"), "{deep}");
+        // …and a hostile request tens of thousands deep must error, not
+        // overflow the thread stack and abort the daemon.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"a\":".repeat(100_000)).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod queue;
 pub mod server;
 pub mod state;
 
-pub use job::{run_request, table_digest};
+pub use job::{catalog_digest, run_request, table_digest};
 pub use proto::{Code, Op, Request, Response};
 pub use queue::{JobQueue, Rejected};
 pub use server::{spawn, DrainReport, Server};

@@ -124,10 +124,22 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<Server> {
             .name("etlopt-listener".to_owned())
             .spawn(move || {
                 for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
                     if draining.load(Ordering::SeqCst) {
+                        // This accept may be the shutdown self-connection
+                        // *or* a real client that won the race against it:
+                        // either way, send the typed 503 before the
+                        // listener exits — a late arrival is never
+                        // silently dropped.
+                        let mut writer = BufWriter::new(stream);
+                        let refusal = Response::fail(
+                            "",
+                            Code::Draining,
+                            "server draining for shutdown".to_owned(),
+                        );
+                        let _ = write_line(&mut writer, &refusal.render());
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
                     let queue = Arc::clone(&queue);
                     let registry = Arc::clone(&registry);
                     let counters = Arc::clone(&counters);
@@ -207,6 +219,67 @@ impl Server {
     }
 }
 
+/// Cap on one request line. The DSL for even the large generated band is
+/// a few KiB; the cap only exists so one client cannot make the server
+/// buffer an unbounded line. Oversized lines get a typed `400` and the
+/// connection closes (there is no way to resynchronize mid-line).
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How one bounded line read ended.
+enum LineRead {
+    /// A complete line (newline stripped, like `BufRead::lines`).
+    Line(String),
+    /// The line exceeded the byte cap before its newline arrived.
+    TooLong,
+    /// Clean end of stream (or an unrecoverable read error).
+    Eof,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than `max`
+/// bytes. `BufRead::lines` parity otherwise: trailing `\r` is stripped,
+/// a final unterminated chunk counts as a line, invalid UTF-8 ends the
+/// connection.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(_) => return LineRead::Eof,
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return LineRead::Eof;
+            }
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max {
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => LineRead::Line(line),
+        Err(_) => LineRead::Eof,
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     registry: &Registry,
@@ -218,10 +291,22 @@ fn handle_connection(
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(reader_stream);
+    let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES) {
+            LineRead::Line(line) => line,
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                let refusal = Response::fail(
+                    "",
+                    Code::BadRequest,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = write_line(&mut writer, &refusal.render());
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -294,4 +379,51 @@ fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<Result<String, ()>> {
+        let mut reader = std::io::Cursor::new(input.to_vec());
+        let mut out = Vec::new();
+        loop {
+            match read_line_bounded(&mut reader, max) {
+                LineRead::Line(line) => out.push(Ok(line)),
+                LineRead::TooLong => {
+                    out.push(Err(()));
+                    break;
+                }
+                LineRead::Eof => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bounded_reader_matches_lines_semantics() {
+        assert_eq!(
+            read_all(b"a\nbb\r\n\nfinal", 1024),
+            vec![
+                Ok("a".to_owned()),
+                Ok("bb".to_owned()),
+                Ok(String::new()),
+                Ok("final".to_owned()),
+            ]
+        );
+        assert_eq!(read_all(b"", 1024), Vec::<Result<String, ()>>::new());
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_lines() {
+        // Terminated but over the cap.
+        let mut long = vec![b'x'; 64];
+        long.push(b'\n');
+        assert_eq!(read_all(&long, 16), vec![Err(())]);
+        // Unterminated flood: must reject after `max`, not buffer it all.
+        assert_eq!(read_all(&vec![b'y'; 4096], 16), vec![Err(())]);
+        // Exactly at the cap is fine.
+        assert_eq!(read_all(b"abcd\n", 4), vec![Ok("abcd".to_owned())]);
+    }
 }

@@ -10,9 +10,16 @@
 //!   process-wide, across tenants. Sharing never changes results, only
 //!   skips recomputing applicable-move lists.
 //! * **Result caches** are keyed by (family digest, rows-per-source,
-//!   data seed). The synthetic catalog is a pure function of those
-//!   three, so cached intermediates are bit-identical across tenants and
-//!   the cache is safely process-wide too.
+//!   data seed, *catalog digest*). The last component exists because the
+//!   synthetic catalog is **not** a pure function of the first three:
+//!   [`etlopt_workload::datagen::catalog_for`] threads one RNG across
+//!   sources in declaration order, while the family digest is
+//!   declaration-order-canonical — so two same-family workflows that
+//!   declare their sources in different textual order generate
+//!   *different* per-source data. Keying by a digest of the generated
+//!   tables themselves ([`crate::job::catalog_digest`]) means sharing
+//!   happens exactly when the data is bit-identical, and is then safely
+//!   process-wide across tenants.
 //! * **Calibration** is keyed by (tenant, family digest) and is the one
 //!   layer that is *not* shared across tenants: calibration stores
 //!   observed selectivities, which feed back into costing. One tenant's
@@ -47,6 +54,11 @@ pub struct ServerConfig {
     pub max_rows: usize,
     /// Ceiling on adaptive rounds per job.
     pub max_rounds: usize,
+    /// Ceiling on per-job search parallelism (threads inside one search).
+    /// Unlike the other ceilings this one is a pure resource knob —
+    /// search results are parallelism-invariant — so the clamped value is
+    /// not echoed in the canonical body.
+    pub max_parallelism: usize,
     /// Root directory for persisted per-tenant calibration; `None`
     /// keeps calibration in-memory only.
     pub store_dir: Option<PathBuf>,
@@ -65,6 +77,9 @@ impl Default for ServerConfig {
             max_time_ms: 60_000,
             max_rows: 4096,
             max_rounds: 8,
+            max_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
             store_dir: None,
             drain_log: None,
         }
@@ -72,10 +87,10 @@ impl Default for ServerConfig {
 }
 
 /// Shared optimizer state for one workflow family: the move memo and the
-/// per-(rows, seed) result caches.
+/// per-(rows, seed, catalog digest) result caches.
 pub struct Family {
     memo: Arc<MoveMemo>,
-    caches: Mutex<HashMap<(usize, u64), SharedCacheHandle>>,
+    caches: Mutex<HashMap<(usize, u64, u64), SharedCacheHandle>>,
 }
 
 impl Family {
@@ -92,11 +107,15 @@ impl Family {
     }
 
     /// The shared result cache for one synthetic dataset of this family,
-    /// created on first touch.
-    pub fn cache(&self, rows: usize, seed: u64) -> SharedCacheHandle {
+    /// created on first touch. `data` is the digest of the *generated*
+    /// catalog ([`crate::job::catalog_digest`]): datagen is
+    /// declaration-order-sensitive while the family digest is not, so
+    /// (rows, seed) alone could alias two different datasets and serve
+    /// cached intermediates under the wrong catalog.
+    pub fn cache(&self, rows: usize, seed: u64, data: u64) -> SharedCacheHandle {
         let mut caches = self.caches.lock().expect("family cache map poisoned");
         caches
-            .entry((rows, seed))
+            .entry((rows, seed, data))
             .or_insert_with(|| SharedCacheHandle::new(SharedCache::new()))
             .clone()
     }
@@ -243,7 +262,7 @@ mod tests {
         let f2 = reg.family(7);
         assert!(Arc::ptr_eq(&f1, &f2));
         assert!(Arc::ptr_eq(&f1.memo(), &f2.memo()));
-        let c1 = f1.cache(64, 1);
+        let c1 = f1.cache(64, 1, 7);
         c1.with_cache(|c| {
             c.insert(
                 99,
@@ -252,9 +271,22 @@ mod tests {
                 )),
             )
         });
-        assert_eq!(f2.cache(64, 1).len(), 1, "same (rows, seed) shares a cache");
-        assert_eq!(f2.cache(64, 2).len(), 0, "different seed gets its own");
-        assert_eq!(reg.family(8).cache(64, 1).len(), 0, "different family too");
+        assert_eq!(
+            f2.cache(64, 1, 7).len(),
+            1,
+            "same (rows, seed, data) shares a cache"
+        );
+        assert_eq!(f2.cache(64, 2, 7).len(), 0, "different seed gets its own");
+        assert_eq!(
+            f2.cache(64, 1, 8).len(),
+            0,
+            "different generated data gets its own"
+        );
+        assert_eq!(
+            reg.family(8).cache(64, 1, 7).len(),
+            0,
+            "different family too"
+        );
     }
 
     #[test]
@@ -275,7 +307,7 @@ mod tests {
     #[test]
     fn stats_json_is_a_parseable_snapshot() {
         let reg = Registry::new(ServerConfig::default());
-        reg.family(1).cache(64, 1);
+        reg.family(1).cache(64, 1, 0);
         reg.calibration("acme", 1).unwrap();
         let v = crate::json::parse(&reg.stats_json()).unwrap();
         assert_eq!(
